@@ -1,0 +1,92 @@
+"""Figure 11 — cross-machine comparison: Summit versus Eagle.
+
+The paper's most striking result: Eagle (2 V100 PCIe + x86 + HPE MPT per
+node) at 72 GPUs is ~40% *faster* than Summit (6 V100 SXM2 + Power9 +
+Spectrum MPI) at 144 GPUs, with the gains "almost exclusively in the
+pressure-Poisson AMG setup and solve" (setup 1.3 s vs 2.0 s, solve 0.8 s
+vs 1.1 s).  In the reproduction the same executed runs are priced on both
+machine models; the effective per-message cost difference of the MPI
+stacks carries the effect.
+"""
+
+import numpy as np
+
+from repro.harness import (
+    emit,
+    equation_breakdown,
+    loglog_chart,
+    nli_series,
+    series_table,
+)
+from repro.perf import EAGLE_GPU, SUMMIT_GPU
+
+
+def test_fig11_summit_vs_eagle(fig3_sweep, benchmark):
+    summit = nli_series(fig3_sweep, SUMMIT_GPU, "Summit")
+    eagle = nli_series(fig3_sweep, EAGLE_GPU, "Eagle")
+    emit(
+        "fig11",
+        series_table(
+            "Fig. 11 (scaled): NLI time per step, Summit vs Eagle "
+            "(x = nodes of each system; same GPU counts per row)",
+            [summit, eagle],
+            note="paper: 72 Eagle GPUs beat 144 Summit GPUs by ~40%; the "
+            "gain concentrates in AMG setup and solve.",
+        ),
+    )
+
+    emit(
+        "fig11_chart",
+        loglog_chart(
+            "Fig. 11 (scaled, log-log): Summit vs Eagle",
+            [summit, eagle],
+        ),
+    )
+
+    # Headline check at the paper's GPU counts: Eagle with *half* the GPUs
+    # of the largest Summit point still beats it.  Paper: 72 vs 144 GPUs;
+    # scaled: half the ranks of the largest sweep point.
+    largest = fig3_sweep[-1]
+    half_idx = next(
+        (
+            i
+            for i, pt in enumerate(fig3_sweep)
+            if pt.ranks * 2 == largest.ranks
+        ),
+        None,
+    )
+    if half_idx is not None:
+        t_eagle_half = eagle.mean[half_idx]
+        t_summit_full = summit.mean[-1]
+        print(
+            f"\nEagle@{fig3_sweep[half_idx].ranks} ranks: "
+            f"{t_eagle_half:.3f}s vs Summit@{largest.ranks} ranks: "
+            f"{t_summit_full:.3f}s "
+            f"(paper: Eagle/72 ~40% faster than Summit/144)"
+        )
+        assert t_eagle_half < 1.25 * t_summit_full
+
+    # Per-phase gains concentrate in the pressure AMG setup + solve.
+    bd_s = equation_breakdown(largest.report, SUMMIT_GPU, "pressure")
+    bd_e = equation_breakdown(largest.report, EAGLE_GPU, "pressure")
+    rows = [
+        [ph, f"{bd_s[ph]:.3f}", f"{bd_e[ph]:.3f}"]
+        for ph in ("precond_setup", "solve")
+    ]
+    emit(
+        "fig11_breakdown",
+        # Paper: setup 2.0 s (Summit) vs 1.3 s (Eagle); solve 1.1 vs 0.8.
+        __import__("repro.harness", fromlist=["format_table"]).format_table(
+            "Fig. 11 detail: pressure AMG setup/solve per step [s]",
+            ["phase", "Summit", "Eagle"],
+            rows,
+            note="paper at matching GPU counts: setup 2.0 vs 1.3 s, "
+            "solve 1.1 vs 0.8 s",
+        ),
+    )
+    assert bd_e["solve"] < bd_s["solve"]
+    assert bd_e["precond_setup"] <= bd_s["precond_setup"] * 1.001
+
+    benchmark.pedantic(
+        nli_series, args=(fig3_sweep, EAGLE_GPU), rounds=1, iterations=1
+    )

@@ -1,0 +1,78 @@
+"""Figures 8 and 9 — strong scaling: dual-turbine and refined meshes.
+
+Fig. 8: the dual-turbine mesh behaves like the low-res single-turbine mesh
+with somewhat larger step-to-step variation.  Fig. 9: the refined mesh
+scales consistently with the smaller meshes but with far greater
+fluctuation, and the CPU slope degrades (-0.79 vs -0.98 at low res).
+"""
+
+import numpy as np
+
+from repro.harness import emit, nli_series, series_table
+from repro.perf import SUMMIT_CPU_GRP, SUMMIT_GPU
+
+from conftest import DUAL_GPUS_PER_RANK, REFINED_GPUS_PER_RANK
+
+
+def test_fig8_dual_turbine(fig8_sweep, benchmark):
+    gpu = nli_series(
+        fig8_sweep, SUMMIT_GPU, "GPU", gpus_per_rank=DUAL_GPUS_PER_RANK
+    )
+    cpu = nli_series(
+        fig8_sweep, SUMMIT_CPU_GRP, "CPU", gpus_per_rank=DUAL_GPUS_PER_RANK
+    )
+    emit(
+        "fig8",
+        series_table(
+            "Fig. 8 (scaled): NLI time per step, dual-turbine mesh",
+            [gpu, cpu],
+            note="paper: performance very similar to the low-res "
+            "single-turbine mesh, with more variation in time per step.",
+        ),
+    )
+    assert all(m > 0 for m in gpu.mean)
+    # The dual-turbine curve tracks the low-res mesh's behavior: CPU keeps
+    # scaling, GPU is already near its latency floor (paper Fig. 8 shows
+    # the same early flattening with larger error bars).
+    assert cpu.mean[-1] < cpu.mean[0]
+    assert max(gpu.mean) / min(gpu.mean) < 2.0
+    benchmark.pedantic(
+        nli_series, args=(fig8_sweep, SUMMIT_GPU), rounds=1, iterations=1
+    )
+
+
+def test_fig9_refined_turbine(fig9_sweep, fig3_sweep, benchmark):
+    gpu = nli_series(
+        fig9_sweep, SUMMIT_GPU, "GPU", gpus_per_rank=REFINED_GPUS_PER_RANK
+    )
+    cpu = nli_series(
+        fig9_sweep,
+        SUMMIT_CPU_GRP,
+        "CPU",
+        gpus_per_rank=REFINED_GPUS_PER_RANK,
+    )
+    emit(
+        "fig9",
+        series_table(
+            "Fig. 9 (scaled): NLI time per step, refined 1-turbine mesh",
+            [gpu, cpu],
+            note="paper: scaling consistent with the smaller meshes, far "
+            "greater fluctuation; CPU slope -0.79 vs -0.98 at low res.",
+        ),
+    )
+    # At the paper's refined operating points (768-4320 GPUs) the GPU
+    # curve is nearly flat with fluctuation — exactly the paper's
+    # observation; assert boundedness and that the CPU curve still scales.
+    assert all(m > 0 for m in gpu.mean)
+    assert max(gpu.mean) / min(gpu.mean) < 2.0
+    assert cpu.mean[-1] < cpu.mean[0]
+    # CPU slope on the refined mesh is compared against the low-res CPU
+    # slope, as the paper does (-0.79 vs -0.98).
+    low_cpu = nli_series(fig3_sweep, SUMMIT_CPU_GRP, "lowcpu")
+    print(
+        f"\nCPU slopes: low-res {low_cpu.slope():.2f}, "
+        f"refined {cpu.slope():.2f} (paper: -0.98 vs -0.79)"
+    )
+    benchmark.pedantic(
+        nli_series, args=(fig9_sweep, SUMMIT_GPU), rounds=1, iterations=1
+    )

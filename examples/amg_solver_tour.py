@@ -1,0 +1,88 @@
+"""Tour of the linear-solver stack on a blade-resolved pressure system.
+
+Walks through the paper's §4 machinery on a real ill-conditioned matrix:
+assemble the pressure-Poisson operator of the scaled turbine, build
+BoomerAMG hierarchies with different interpolation operators and
+coarsening, and solve with one-reduce GMRES, comparing against the
+two-stage Gauss-Seidel-only preconditioner.
+
+Run:  python examples/amg_solver_tour.py
+"""
+
+import numpy as np
+
+from repro import NaluWindSimulation, SimulationConfig
+from repro.amg import AMGHierarchy, AMGOptions, AMGPreconditioner
+from repro.comm import SimWorld
+from repro.core.operators import boundary_mass_flux, mass_flux
+from repro.harness import format_table
+from repro.krylov import GMRES
+from repro.linalg import ParCSRMatrix
+from repro.smoothers import make_sgs2
+
+
+def build_pressure_matrix():
+    """One time step of turbine_tiny, then re-assemble its pressure system."""
+    cfg = SimulationConfig(nranks=6)
+    sim = NaluWindSimulation("turbine_tiny", cfg)
+    sim.step()
+    comp = sim.comp
+    mdot = mass_flux(comp, sim.velocity, cfg.density)
+    bflux = boundary_mass_flux(comp, sim.velocity, cfg.density)
+    A, rhs = sim.pressure.assemble(
+        mdot=mdot,
+        pressure_correction_bc=np.zeros(comp.n),
+        boundary_flux=bflux,
+    )
+    return A, rhs
+
+
+def main() -> None:
+    A, rhs = build_pressure_matrix()
+    print(f"pressure system: n={A.shape[0]}, nnz={A.nnz}, "
+          f"offd fraction={A.offd_fraction():.2f}")
+
+    rows = []
+    for interp in ("direct", "bamg_direct", "mm_ext", "mm_ext_i"):
+        w = SimWorld(6)
+        M = ParCSRMatrix(w, A.A, A.row_offsets)
+        b = M.new_vector(rhs.data.copy())
+        h = AMGHierarchy(M, AMGOptions(interp=interp, agg_levels=2))
+        res = GMRES(
+            M, preconditioner=AMGPreconditioner(h), tol=1e-8, max_iters=300
+        ).solve(b)
+        rows.append(
+            [
+                f"AMG({interp})",
+                h.num_levels,
+                f"{h.operator_complexity():.2f}",
+                res.iterations,
+                str(res.converged),
+            ]
+        )
+
+    # Two-stage Gauss-Seidel alone (no multigrid): the contrast that
+    # motivates AMG for the pressure system (paper §1).
+    w = SimWorld(6)
+    M = ParCSRMatrix(w, A.A, A.row_offsets)
+    b = M.new_vector(rhs.data.copy())
+    res = GMRES(
+        M, preconditioner=make_sgs2(M), tol=1e-8, max_iters=300
+    ).solve(b)
+    rows.append(["SGS2 only", "-", "-", res.iterations, str(res.converged)])
+
+    print()
+    print(
+        format_table(
+            "GMRES(one-reduce) on the blade-resolved pressure system",
+            ["preconditioner", "levels", "op cx", "iterations", "converged"],
+            rows,
+            note="Poorly conditioned pressure systems 'can only be solved "
+            "efficiently with sophisticated algorithms such as AMG' "
+            "(paper, Introduction).",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

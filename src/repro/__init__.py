@@ -1,0 +1,25 @@
+"""repro: reproduction of "Preparing an Incompressible-Flow Fluid Dynamics
+Code for Exascale-Class Wind Energy Simulations" (SC '21).
+
+Public entry points:
+
+* :class:`repro.core.NaluWindSimulation` — the full CFD pipeline on the
+  scaled turbine workloads.
+* :mod:`repro.assembly` — the paper's three-stage linear-system assembly
+  (Algorithms 1 and 2).
+* :mod:`repro.amg` — BoomerAMG-style setup (PMIS, MM-ext, aggressive
+  coarsening) and V-cycle.
+* :mod:`repro.smoothers` — two-stage Gauss-Seidel / SGS2.
+* :mod:`repro.perf` — the Summit/Eagle machine models and cost pricing.
+"""
+
+from repro.core import NaluWindSimulation, SimulationConfig, SimulationReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NaluWindSimulation",
+    "SimulationConfig",
+    "SimulationReport",
+    "__version__",
+]

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — run a simulation workload and report solver statistics (and
+  optionally export VTK flow fields).
+* ``scaling`` — run a strong-scaling sweep and print the priced curves.
+* ``partition`` — compare RCB and multilevel decompositions (Figs. 4-5).
+* ``project`` — print the §6 exascale capability projection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import NaluWindSimulation, SimulationConfig
+    from repro.harness import nli_step_times
+    from repro.perf import get_machine
+
+    cfg = SimulationConfig(
+        nranks=args.ranks,
+        partition_method=args.partition,
+        assembly_variant=args.assembly,
+    )
+    sim = NaluWindSimulation(args.workload, cfg)
+    print(
+        f"{args.workload}: {sim.comp.n} DoFs, {len(sim.comp.meshes)} meshes, "
+        f"{args.ranks} ranks"
+    )
+    report = sim.run(args.steps)
+    for eq, its in report.solve_iterations.items():
+        print(f"  {eq:10s} mean iters {np.mean(its):6.2f} over {len(its)} solves")
+    print(f"  mass residual: {report.divergence_norms[-1]:.2e}")
+    machine = get_machine(args.machine)
+    times = nli_step_times(report, machine)
+    print(
+        f"  NLI time/step on {machine.name} (paper-scale): "
+        f"{times.mean():.3f} +- {times.std():.3f} s"
+    )
+    if args.vtk:
+        from repro.core.postprocess import q_criterion, vorticity_magnitude
+        from repro.mesh.vtk_io import write_composite_vtk
+
+        paths = write_composite_vtk(
+            args.vtk,
+            sim.comp,
+            {
+                "velocity": sim.velocity,
+                "pressure": sim.pressure_field,
+                "q_criterion": q_criterion(sim.comp, sim.velocity),
+                "vorticity_mag": vorticity_magnitude(sim.comp, sim.velocity),
+            },
+        )
+        print(f"  wrote {len(paths)} VTK files to {args.vtk}_*.vtk")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.harness import nli_series, run_strong_scaling, series_table
+    from repro.perf import get_machine
+
+    ranks = [int(r) for r in args.ranks.split(",")]
+    points = run_strong_scaling(args.workload, ranks, n_steps=args.steps)
+    series = [
+        nli_series(points, get_machine(name))
+        for name in args.machines.split(",")
+    ]
+    print(series_table(f"strong scaling: {args.workload}", series))
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    sys.argv = ["partitioning_study", str(args.ranks)]
+    import importlib.util
+    import os
+
+    # The study lives in examples/; run it in-process if present, else
+    # use the library directly.
+    from repro.comm import SimWorld
+    from repro.core import CompositeMesh
+    from repro.harness import format_table
+    from repro.mesh import make_workload
+    from repro.overset.assembler import NodeStatus
+    from repro.partition import balance_stats, multilevel_partition
+    from repro.partition.rcb import rcb_element_node_partition
+    from scipy import sparse
+
+    comp = CompositeMesh(SimWorld(1), make_workload(args.workload))
+    g = comp.node_graph().tocoo()
+    free = comp.statuses == NodeStatus.FIELD
+    keep = free[g.row]
+    rows_ = np.concatenate([g.row[keep], np.arange(comp.n)])
+    cols_ = np.concatenate([g.col[keep], np.arange(comp.n)])
+    A = sparse.csr_matrix(
+        (np.ones(rows_.size), (rows_, cols_)), shape=(comp.n, comp.n)
+    )
+    cells, centroids = comp.all_cells()
+    gg = comp.node_graph()
+    vw = np.diff(A.indptr).astype(float)
+    rows = []
+    for label, parts in (
+        (
+            "RCB",
+            rcb_element_node_partition(centroids, cells, comp.n, args.ranks),
+        ),
+        (
+            "multilevel",
+            multilevel_partition(gg, args.ranks, vertex_weights=vw),
+        ),
+    ):
+        bs = balance_stats(A, parts)
+        rows.append(
+            [label, f"{bs.median:.0f}", f"{bs.minimum:.0f}",
+             f"{bs.maximum:.0f}", f"{bs.spread:.0f}"]
+        )
+    print(
+        format_table(
+            f"nnz balance, {args.ranks} ranks, {args.workload}",
+            ["method", "median", "min", "max", "spread"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    from repro.harness import format_table, paper_projection
+
+    rows = [
+        [p.label, f"{p.gpus:,}", f"{p.peak_pflops:.0f}",
+         f"{p.mesh_nodes / 1e9:.2f}B"]
+        for p in paper_projection()
+    ]
+    print(
+        format_table(
+            "Exascale capability projection (paper §6)",
+            ["operating point", "GPUs", "peak PF", "mesh nodes"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SC'21 exascale-prep CFD reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a simulation workload")
+    p_run.add_argument("--workload", default="turbine_tiny")
+    p_run.add_argument("--steps", type=int, default=2)
+    p_run.add_argument("--ranks", type=int, default=6)
+    p_run.add_argument("--machine", default="summit-gpu")
+    p_run.add_argument(
+        "--partition", default="parmetis", choices=["parmetis", "rcb"]
+    )
+    p_run.add_argument(
+        "--assembly",
+        default="optimized",
+        choices=["optimized", "sparse_add", "general"],
+    )
+    p_run.add_argument("--vtk", default="", help="VTK output prefix")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sc = sub.add_parser("scaling", help="strong-scaling sweep")
+    p_sc.add_argument("--workload", default="turbine_tiny")
+    p_sc.add_argument("--ranks", default="3,6,12")
+    p_sc.add_argument("--steps", type=int, default=2)
+    p_sc.add_argument("--machines", default="summit-gpu,eagle-gpu")
+    p_sc.set_defaults(func=_cmd_scaling)
+
+    p_pt = sub.add_parser("partition", help="RCB vs multilevel balance")
+    p_pt.add_argument("--workload", default="turbine_low")
+    p_pt.add_argument("--ranks", type=int, default=12)
+    p_pt.set_defaults(func=_cmd_partition)
+
+    p_pj = sub.add_parser("project", help="exascale capability projection")
+    p_pj.set_defaults(func=_cmd_project)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""BoomerAMG-style algebraic multigrid (paper §4)."""
+
+from repro.amg.cycle import AMGCycleOptions, AMGPreconditioner
+from repro.amg.hierarchy import (
+    AMGHierarchy,
+    AMGLevel,
+    AMGOptions,
+    INTERP_KINDS,
+    SMOOTHERS,
+)
+from repro.amg.interp import (
+    bamg_direct_interpolation,
+    coarse_map,
+    direct_interpolation,
+    split_strong_weak,
+    truncate_interpolation,
+)
+from repro.amg.interp_mm import mm_ext_i_interpolation, mm_ext_interpolation
+from repro.amg.pmis import (
+    C_POINT,
+    F_POINT,
+    pmis_coarsen,
+    second_pass_aggressive,
+)
+from repro.amg.strength import aggressive_strength, strength_matrix
+
+__all__ = [
+    "AMGCycleOptions",
+    "AMGHierarchy",
+    "AMGLevel",
+    "AMGOptions",
+    "AMGPreconditioner",
+    "C_POINT",
+    "F_POINT",
+    "INTERP_KINDS",
+    "SMOOTHERS",
+    "aggressive_strength",
+    "bamg_direct_interpolation",
+    "coarse_map",
+    "direct_interpolation",
+    "mm_ext_i_interpolation",
+    "mm_ext_interpolation",
+    "pmis_coarsen",
+    "second_pass_aggressive",
+    "split_strong_weak",
+    "strength_matrix",
+    "truncate_interpolation",
+]

@@ -1,0 +1,93 @@
+"""Thrust-like data-parallel primitives with cost accounting.
+
+The paper's global assembly (Algorithms 1 and 2) is written in terms of the
+CUDA Thrust primitives ``stable_sort_by_key`` and ``reduce_by_key``, noting
+that "other GPU architectures can be supported provided implementations
+exist" for them (§3.3).  These NumPy implementations have identical
+semantics; each records the data-motion cost of its GPU analogue (radix
+sort: multiple full passes over keys+values; keyed reduction: two passes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.simcomm import SimWorld
+
+#: Radix-sort pass count for 64-bit keys at 8 bits/pass.
+_SORT_PASSES = 8
+
+
+def record_sort_cost(
+    world: SimWorld, rank: int, n: int, value_bytes: int, kernel: str = "sort"
+) -> None:
+    """Record the device cost of a stable radix sort of ``n`` pairs."""
+    if n == 0:
+        return
+    per_pass = (8.0 + value_bytes) * 2.0  # read + write of key and payload
+    world.ops.record(
+        world.phase,
+        rank,
+        kernel,
+        flops=0.0,
+        nbytes=_SORT_PASSES * per_pass * n,
+        launches=_SORT_PASSES,
+    )
+
+
+def record_reduce_cost(
+    world: SimWorld, rank: int, n: int, value_bytes: int, kernel: str = "reduce"
+) -> None:
+    """Record the device cost of a keyed reduction over ``n`` pairs."""
+    if n == 0:
+        return
+    world.ops.record(
+        world.phase,
+        rank,
+        kernel,
+        flops=float(n),
+        nbytes=2.0 * (8.0 + value_bytes) * n,
+        launches=2,
+    )
+
+
+def stable_sort_by_key(
+    keys: tuple[np.ndarray, ...], values: np.ndarray
+) -> tuple[tuple[np.ndarray, ...], np.ndarray]:
+    """Sort ``values`` (and keys) by lexicographic key order, stably.
+
+    Args:
+        keys: key arrays, most-significant first (e.g. ``(i, j)``).
+        values: payload array, same length.
+
+    Returns:
+        ``(sorted_keys, sorted_values)``.
+    """
+    if not keys:
+        raise ValueError("need at least one key array")
+    order = np.lexsort(tuple(reversed(keys)))
+    return tuple(k[order] for k in keys), values[order]
+
+
+def reduce_by_key(
+    keys: tuple[np.ndarray, ...], values: np.ndarray
+) -> tuple[tuple[np.ndarray, ...], np.ndarray]:
+    """Sum consecutive equal-key runs (input must be key-sorted).
+
+    Args:
+        keys: sorted key arrays, most-significant first.
+        values: payload to sum within runs.
+
+    Returns:
+        ``(unique_keys, summed_values)``.
+    """
+    n = values.size
+    if n == 0:
+        return tuple(k[:0] for k in keys), values[:0]
+    new_run = np.zeros(n, dtype=bool)
+    new_run[0] = True
+    for k in keys:
+        new_run[1:] |= k[1:] != k[:-1]
+    starts = np.flatnonzero(new_run)
+    summed = np.add.reduceat(values, starts)
+    return tuple(k[starts] for k in keys), summed

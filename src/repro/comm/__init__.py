@@ -1,0 +1,24 @@
+"""Simulated distributed-memory communication substrate.
+
+The paper runs Nalu-Wind/hypre over MPI on thousands of GPUs.  This package
+provides an in-process SPMD rank simulator: every rank's data lives in
+rank-indexed containers, exchanges move real NumPy arrays between them, and
+every point-to-point message and collective is recorded in a
+:class:`~repro.comm.traffic.TrafficLog` so the performance model
+(:mod:`repro.perf`) can convert the observed communication structure into
+simulated wall time on a modeled machine.
+"""
+
+from repro.comm.traffic import CollectiveRecord, MessageRecord, TrafficLog
+from repro.comm.simcomm import SimComm, SimWorld
+from repro.comm.exchange import ExchangePattern, build_exchange_pattern
+
+__all__ = [
+    "CollectiveRecord",
+    "ExchangePattern",
+    "MessageRecord",
+    "SimComm",
+    "SimWorld",
+    "TrafficLog",
+    "build_exchange_pattern",
+]

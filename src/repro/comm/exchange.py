@@ -1,0 +1,149 @@
+"""Halo-exchange patterns for rank-block distributed vectors.
+
+Global DoFs are distributed in contiguous rank blocks (hypre's 1-D block-row
+layout, paper §3.3): rank ``r`` owns global indices
+``[offsets[r], offsets[r+1])``.  A :class:`ExchangePattern` captures, once per
+matrix, which owned entries each rank must ship to which neighbor so that
+every rank can materialize the external ("ghost") vector entries its offd
+block references.  This mirrors hypre's ``ParCSRCommPkg``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.simcomm import SimWorld
+
+
+@dataclass
+class RankExchange:
+    """One rank's side of the halo exchange.
+
+    Attributes:
+        send_to: list of ``(dst_rank, local_indices)``; ``local_indices``
+            index this rank's owned vector slice.
+        recv_from: list of ``(src_rank, ext_positions)``; ``ext_positions``
+            index this rank's external buffer (aligned with
+            ``col_map_offd``).
+        n_ext: size of the external buffer.
+    """
+
+    send_to: list[tuple[int, np.ndarray]] = field(default_factory=list)
+    recv_from: list[tuple[int, np.ndarray]] = field(default_factory=list)
+    n_ext: int = 0
+
+    @property
+    def n_neighbors_send(self) -> int:
+        """Number of distinct destination ranks."""
+        return len(self.send_to)
+
+    @property
+    def n_neighbors_recv(self) -> int:
+        """Number of distinct source ranks."""
+        return len(self.recv_from)
+
+
+@dataclass
+class ExchangePattern:
+    """Halo-exchange pattern for all ranks of one distribution."""
+
+    offsets: np.ndarray
+    per_rank: list[RankExchange]
+
+    @property
+    def nranks(self) -> int:
+        """Number of ranks in the distribution."""
+        return len(self.per_rank)
+
+    def total_messages(self) -> int:
+        """Messages per exchange round (sum over ranks of send neighbors)."""
+        return sum(rx.n_neighbors_send for rx in self.per_rank)
+
+    def total_halo_entries(self) -> int:
+        """Total external entries received per exchange round."""
+        return sum(rx.n_ext for rx in self.per_rank)
+
+
+def owner_of(global_ids: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Owning rank of each global index under a rank-block distribution."""
+    gid = np.asarray(global_ids)
+    return np.searchsorted(offsets, gid, side="right") - 1
+
+
+def build_exchange_pattern(
+    offsets: np.ndarray, ext_ids_per_rank: list[np.ndarray]
+) -> ExchangePattern:
+    """Build the halo pattern from each rank's sorted external column ids.
+
+    Args:
+        offsets: ``(nranks+1,)`` global row offsets of the block distribution.
+        ext_ids_per_rank: per rank, the **sorted unique** global indices it
+            needs but does not own (hypre's ``col_map_offd``).
+
+    Returns:
+        The full exchange pattern; building it is a symbolic/setup operation
+        and records no traffic.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    nranks = len(offsets) - 1
+    per_rank = [RankExchange() for _ in range(nranks)]
+
+    for r, ext_ids in enumerate(ext_ids_per_rank):
+        ext_ids = np.asarray(ext_ids, dtype=np.int64)
+        per_rank[r].n_ext = int(ext_ids.size)
+        if ext_ids.size == 0:
+            continue
+        if np.any(np.diff(ext_ids) <= 0):
+            raise ValueError(f"rank {r}: ext ids must be sorted unique")
+        owners = owner_of(ext_ids, offsets)
+        if np.any(owners == r):
+            raise ValueError(f"rank {r}: ext ids include owned indices")
+        # Group positions by owner; ext_ids sorted => owners sorted.
+        uniq_owners, starts = np.unique(owners, return_index=True)
+        bounds = np.append(starts, ext_ids.size)
+        for k, owner in enumerate(uniq_owners):
+            positions = np.arange(bounds[k], bounds[k + 1], dtype=np.int64)
+            needed_gids = ext_ids[positions]
+            local_on_owner = needed_gids - offsets[owner]
+            per_rank[r].recv_from.append((int(owner), positions))
+            per_rank[int(owner)].send_to.append((r, local_on_owner))
+
+    # Deterministic ordering of send lists by destination rank.
+    for rx in per_rank:
+        rx.send_to.sort(key=lambda t: t[0])
+        rx.recv_from.sort(key=lambda t: t[0])
+    return ExchangePattern(offsets=offsets, per_rank=per_rank)
+
+
+def exchange_halo(
+    world: SimWorld,
+    pattern: ExchangePattern,
+    owned: list[np.ndarray],
+) -> list[np.ndarray]:
+    """Run one halo exchange: gather external entries for every rank.
+
+    Args:
+        world: the simulated world (records traffic).
+        pattern: pattern from :func:`build_exchange_pattern`.
+        owned: per rank, its owned vector slice.
+
+    Returns:
+        Per rank, the external buffer aligned with its ``col_map_offd``.
+    """
+    nranks = pattern.nranks
+    if len(owned) != nranks:
+        raise ValueError("need one owned slice per rank")
+    ext = [np.zeros(rx.n_ext, dtype=np.float64) for rx in pattern.per_rank]
+    # Post all sends, then deliver: matches the MPI_Isend/Irecv structure.
+    for src in range(nranks):
+        for dst, local_idx in pattern.per_rank[src].send_to:
+            payload = np.ascontiguousarray(owned[src][local_idx])
+            world.traffic.record_message(src, dst, payload.nbytes, world.phase)
+            # Deliver directly into dst's external buffer.
+            for owner, positions in pattern.per_rank[dst].recv_from:
+                if owner == src:
+                    ext[dst][positions] = payload
+                    break
+    return ext

@@ -1,0 +1,179 @@
+"""In-process SPMD rank simulator.
+
+:class:`SimWorld` stands in for ``MPI_COMM_WORLD``: it fixes the number of
+ranks, owns the :class:`~repro.comm.traffic.TrafficLog`, and provides
+world-level exchange operations that the rest of the library uses in
+rank-indexed ("list of per-rank arrays") style.  :class:`SimComm` is the
+per-rank handle with MPI-like ``send``/``recv`` semantics backed by a
+mailbox, used where the paper's algorithms are written in per-rank form
+(e.g. Algorithm 1 step 2-3).
+
+All exchanges move *real* data, so the numerics downstream (hybrid smoothers,
+additive Schwarz, assembly) behave exactly as they would distributed; the log
+only adds accounting on top.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.comm.traffic import TrafficLog
+
+
+def _nbytes(payload: Any) -> int:
+    """Byte size of a message payload (ndarray, scalar, or tuple of them)."""
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (tuple, list)):
+        return sum(_nbytes(p) for p in payload)
+    if isinstance(payload, (int, np.integer)):
+        return 8
+    if isinstance(payload, (float, np.floating)):
+        return 8
+    return 8
+
+
+class SimWorld:
+    """A simulated world of ``size`` ranks sharing one traffic log."""
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.size = int(size)
+        self.traffic = TrafficLog()
+        # Late import: perf.opcounts has no dependency on comm, so this
+        # cannot cycle; attaching the recorder here gives every consumer a
+        # single object (the world) to thread through.
+        from repro.perf.opcounts import OpRecorder
+
+        self.ops = OpRecorder()
+        self.rng = np.random.default_rng(seed)
+        self._phase_stack: list[str] = ["default"]
+        self._mailboxes: dict[tuple[int, int], deque[Any]] = {}
+
+    # -- phase labeling ----------------------------------------------------
+
+    @property
+    def phase(self) -> str:
+        """Currently active phase label."""
+        return self._phase_stack[-1]
+
+    @contextmanager
+    def phase_scope(self, label: str) -> Iterator[None]:
+        """Attribute all traffic inside the ``with`` block to ``label``."""
+        self._phase_stack.append(label)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # -- rank handles ------------------------------------------------------
+
+    def comm(self, rank: int) -> "SimComm":
+        """Per-rank communicator handle."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for world of {self.size}")
+        return SimComm(self, rank)
+
+    def comms(self) -> list["SimComm"]:
+        """Handles for all ranks, index == rank."""
+        return [SimComm(self, r) for r in range(self.size)]
+
+    # -- mailbox primitives (used by SimComm) -------------------------------
+
+    def _post(self, src: int, dst: int, payload: Any) -> None:
+        self.traffic.record_message(src, dst, _nbytes(payload), self.phase)
+        self._mailboxes.setdefault((src, dst), deque()).append(payload)
+
+    def _take(self, src: int, dst: int) -> Any:
+        box = self._mailboxes.get((src, dst))
+        if not box:
+            raise RuntimeError(
+                f"recv from rank {src} on rank {dst}: no message posted "
+                "(simulated deadlock)"
+            )
+        return box.popleft()
+
+    def pending_messages(self) -> int:
+        """Number of posted-but-unreceived messages (should be 0 at sync points)."""
+        return sum(len(b) for b in self._mailboxes.values())
+
+    # -- world-level exchanges ----------------------------------------------
+
+    def alltoallv(self, send: Sequence[Sequence[Any]]) -> list[list[Any]]:
+        """Personalized all-to-all.
+
+        ``send[r][q]`` is the payload rank ``r`` sends to rank ``q`` (``None``
+        to send nothing).  Returns ``recv`` with ``recv[q][i]`` the payloads
+        received by rank ``q`` in sender-rank order.  Only non-``None``,
+        non-empty payloads are transmitted and recorded.
+        """
+        if len(send) != self.size:
+            raise ValueError("alltoallv needs one send row per rank")
+        recv: list[list[Any]] = [[] for _ in range(self.size)]
+        for src in range(self.size):
+            row = send[src]
+            if len(row) != self.size:
+                raise ValueError("alltoallv send rows must have world-size entries")
+            for dst in range(self.size):
+                payload = row[dst]
+                if payload is None:
+                    continue
+                if isinstance(payload, np.ndarray) and payload.size == 0:
+                    continue
+                self.traffic.record_message(
+                    src, dst, _nbytes(payload), self.phase
+                )
+                recv[dst].append(payload)
+        return recv
+
+    def allreduce(
+        self, values: Sequence[Any], op: Callable[[Sequence[Any]], Any] = sum
+    ) -> Any:
+        """All-reduce of one value per rank; every rank gets the same result."""
+        if len(values) != self.size:
+            raise ValueError("allreduce needs one value per rank")
+        self.traffic.record_collective(
+            "allreduce", self.size, _nbytes(values[0]), self.phase
+        )
+        return op(values)
+
+    def allgather(self, values: Sequence[Any]) -> list[Any]:
+        """All-gather of one value per rank; returns the full list."""
+        if len(values) != self.size:
+            raise ValueError("allgather needs one value per rank")
+        self.traffic.record_collective(
+            "allgather", self.size, _nbytes(values[0]), self.phase
+        )
+        return list(values)
+
+    def barrier(self) -> None:
+        """Synchronization point; records a zero-byte collective."""
+        self.traffic.record_collective("barrier", self.size, 0, self.phase)
+
+
+class SimComm:
+    """Per-rank communicator handle with MPI-like point-to-point calls."""
+
+    def __init__(self, world: SimWorld, rank: int) -> None:
+        self.world = world
+        self.rank = int(rank)
+
+    @property
+    def size(self) -> int:
+        """World size."""
+        return self.world.size
+
+    def send(self, dst: int, payload: Any) -> None:
+        """Post ``payload`` to rank ``dst`` (non-blocking semantics)."""
+        if dst == self.rank:
+            raise ValueError("self-sends are not modeled; handle locally")
+        self.world._post(self.rank, dst, payload)
+
+    def recv(self, src: int) -> Any:
+        """Receive the oldest pending payload from rank ``src``."""
+        return self.world._take(src, self.rank)

@@ -1,0 +1,217 @@
+"""Equation systems: the per-equation graph -> assemble -> solve pipeline.
+
+Each governing equation (momentum, pressure-Poisson, scalar transport) owns
+the full pipeline of the paper:
+
+* Stage 1 graph computation when connectivity changes (``<eq>/graph``),
+* Stage 2 local assembly every Picard iteration (``<eq>/local_assembly``),
+* Stage 3 global assembly, Algorithms 1-2 (``<eq>/global_assembly``),
+* preconditioner setup (``<eq>/precond_setup``),
+* GMRES solve (``<eq>/solve``).
+
+The phase labels match the paper's per-equation breakdown bars (Figs. 6-7):
+graph+physics (purple), local assembly (green), global assembly (red),
+preconditioner setup (blue), solve (orange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amg.cycle import AMGCycleOptions, AMGPreconditioner
+from repro.amg.hierarchy import AMGHierarchy
+from repro.assembly.global_assembly import (
+    assemble_global_matrix,
+    assemble_global_vector,
+)
+from repro.assembly.graph import EquationGraph, GraphSpec
+from repro.assembly.local import LocalAssembler
+from repro.core.composite import CompositeMesh
+from repro.core.config import SimulationConfig
+from repro.core.timers import PhaseTimers
+from repro.krylov.gmres import GMRES, GMRESResult
+from repro.linalg.parcsr import ParCSRMatrix
+from repro.linalg.parvector import ParVector
+from repro.overset.assembler import NodeStatus
+from repro.smoothers.two_stage_gs import TwoStageGS
+
+#: Phase suffixes, in the paper's breakdown order.
+PHASES = (
+    "graph",
+    "local_assembly",
+    "global_assembly",
+    "precond_setup",
+    "solve",
+)
+
+
+@dataclass
+class SolveRecord:
+    """Iteration/convergence record of one linear solve."""
+
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+class EquationSystem:
+    """Base pipeline; subclasses provide physics and preconditioning."""
+
+    name = "equation"
+
+    def __init__(
+        self,
+        comp: CompositeMesh,
+        config: SimulationConfig,
+        timers: PhaseTimers,
+    ) -> None:
+        self.comp = comp
+        self.config = config
+        self.timers = timers
+        self.world = comp.world
+        self.graph: EquationGraph | None = None
+        self.assembler: LocalAssembler | None = None
+        self.solve_records: list[SolveRecord] = []
+        self._solves_since_setup = 0
+
+    # -- constraint sets (application ids), subclass-specific -------------------
+
+    def dirichlet_rows(self) -> np.ndarray:
+        """Rows with strong boundary conditions (subclass hook)."""
+        return np.zeros(0, dtype=np.int64)
+
+    def constraint_rows(self) -> np.ndarray:
+        """All constraint rows: Dirichlet + overset fringe + holes."""
+        return np.unique(
+            np.concatenate(
+                [
+                    self.dirichlet_rows(),
+                    self.comp.fringe_nodes(),
+                    self.comp.hole_nodes(),
+                ]
+            )
+        )
+
+    # -- pipeline ------------------------------------------------------------------
+
+    def phase(self, suffix: str) -> str:
+        """Full phase label for this equation."""
+        return f"{self.name}/{suffix}"
+
+    def update_graph(self) -> None:
+        """Stage 1 (run when mesh motion changes connectivity)."""
+        if self.assembler is not None:
+            self.assembler.release()
+        with self.timers.measure(self.phase("graph")):
+            with self.world.phase_scope(self.phase("graph")):
+                spec = GraphSpec(
+                    n=self.comp.n,
+                    edges=self.comp.edges,
+                    constraint_rows=self.constraint_rows(),
+                )
+                self.graph = EquationGraph(
+                    self.world, self.comp.numbering, spec
+                )
+                self.assembler = LocalAssembler(
+                    self.world, self.graph, mode=self.config.assembly_mode
+                )
+        self._solves_since_setup = 0  # pattern changed: rebuild precond
+
+    def _to_new(self, vals_app: np.ndarray) -> np.ndarray:
+        """Reorder a per-application-id array to new (rank-block) ids."""
+        return vals_app[self.comp.numbering.new_to_old]
+
+    def assemble(self, **kwargs) -> tuple[ParCSRMatrix, ParVector]:
+        """Stages 2 + 3: fill values and run the global assembly."""
+        if self.graph is None:
+            self.update_graph()
+        asmblr = self.assembler
+        with self.timers.measure(self.phase("local_assembly")):
+            with self.world.phase_scope(self.phase("local_assembly")):
+                asmblr.reset()
+                self.fill(asmblr, **kwargs)
+                local = asmblr.finalize()
+        # Last iteration's operator is replaced: return its storage first.
+        if getattr(self, "_matrix", None) is not None:
+            self._matrix.release()
+        with self.timers.measure(self.phase("global_assembly")):
+            with self.world.phase_scope(self.phase("global_assembly")):
+                am = assemble_global_matrix(
+                    self.world,
+                    self.comp.numbering,
+                    local,
+                    variant=self.config.assembly_variant,
+                    name=self.name,
+                )
+                rhs = assemble_global_vector(
+                    self.world,
+                    self.comp.numbering,
+                    local,
+                    variant=self.config.assembly_variant,
+                )
+        self._matrix = am.matrix
+        return am.matrix, rhs
+
+    def fill(self, asmblr: LocalAssembler, **kwargs) -> None:
+        """Physics fill (subclass hook): add edge/node/constraint values."""
+        raise NotImplementedError
+
+    def make_preconditioner(self, A: ParCSRMatrix):
+        """Subclass hook: build the preconditioner for a fresh matrix."""
+        raise NotImplementedError
+
+    def solver_config(self):
+        """Subclass hook: which SolverConfig applies."""
+        raise NotImplementedError
+
+    def solve(
+        self, A: ParCSRMatrix, b: ParVector, x0: ParVector | None = None
+    ) -> GMRESResult:
+        """Preconditioner setup + GMRES solve, with phase attribution."""
+        cfg = self.solver_config()
+        rebuild = (
+            self._solves_since_setup % self.config.precond_rebuild_every == 0
+        )
+        with self.timers.measure(self.phase("precond_setup")):
+            with self.world.phase_scope(self.phase("precond_setup")):
+                if rebuild or not hasattr(self, "_precond"):
+                    self._precond = self.make_preconditioner(A)
+        self._solves_since_setup += 1
+        with self.timers.measure(self.phase("solve")):
+            with self.world.phase_scope(self.phase("solve")):
+                gmres = GMRES(
+                    A,
+                    preconditioner=self._precond,
+                    tol=cfg.tol,
+                    max_iters=cfg.max_iters,
+                    restart=cfg.restart,
+                    gs_variant=cfg.gs_variant,
+                )
+                result = gmres.solve(b, x0=x0)
+        self.solve_records.append(
+            SolveRecord(
+                iterations=result.iterations,
+                residual_norm=result.residual_norm,
+                converged=result.converged,
+            )
+        )
+        return result
+
+    # -- helpers shared by the physics subclasses -----------------------------------
+
+    def constraint_values_to_rhs(
+        self, asmblr: LocalAssembler, values_app: np.ndarray
+    ) -> None:
+        """Identity constraint rows: diag 1 handled via add_diag by caller;
+        here the RHS takes the prescribed value (new numbering)."""
+        rows_app = self.constraint_rows()
+        rows_new = self.comp.numbering.old_to_new[rows_app]
+        asmblr.set_constraint_rhs(rows_new, values_app[rows_app])
+
+    def unit_constraint_diag(self) -> np.ndarray:
+        """Diagonal contribution: 1 on constraint rows, 0 elsewhere (new)."""
+        d = np.zeros(self.comp.n)
+        d[self.constraint_rows()] = 1.0
+        return self._to_new(d)

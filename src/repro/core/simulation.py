@@ -1,0 +1,315 @@
+"""The Nalu-Wind-style simulation driver.
+
+Each time step (paper §5): rotate the rotor, refresh overset connectivity
+and the equation graphs, then run ``picard_iterations`` nonlinear
+iterations, each of which assembles and solves the momentum system (three
+components on one shared operator, GMRES + SGS2), the pressure-Poisson
+projection (GMRES + BoomerAMG), applies the velocity/flux correction, and
+advances the turbulence-like scalar (GMRES + SGS2).  A cumulative
+phase-aggregate snapshot is taken after every step so the harness can
+price per-step NLI times — mean and standard deviation over the steps —
+on any machine model, exactly the statistic Figs. 3/8/9/11 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.simcomm import SimWorld
+from repro.core.composite import CompositeMesh
+from repro.core.config import SimulationConfig
+from repro.core.equation_system import PHASES
+from repro.core.operators import (
+    boundary_mass_flux,
+    least_squares_gradient,
+    mass_flux,
+)
+from repro.core.physics import (
+    MomentumSystem,
+    PressurePoissonSystem,
+    ScalarTransportSystem,
+)
+from repro.core.timers import PhaseTimers
+from repro.assembly.global_assembly import assemble_global_vector
+from repro.mesh.turbine import TurbineMeshSystem, make_workload
+from repro.overset.assembler import NodeStatus
+from repro.perf.cost import PhaseAggregate, collect_phase_aggregates
+
+
+@dataclass
+class SimulationReport:
+    """Everything the benchmark harness needs from one run."""
+
+    config: SimulationConfig
+    workload: str
+    total_nodes: int
+    n_steps: int
+    step_snapshots: list[dict[str, PhaseAggregate]]
+    solve_iterations: dict[str, list[int]]
+    peak_alloc_bytes: float
+    wall_times: dict[str, float]
+    divergence_norms: list[float] = field(default_factory=list)
+
+    def step_deltas(self) -> list[dict[str, PhaseAggregate]]:
+        """Per-step phase aggregates (differences of the cumulatives)."""
+        out = []
+        prev: dict[str, PhaseAggregate] = {}
+        for snap in self.step_snapshots:
+            delta = {}
+            for ph, agg in snap.items():
+                delta[ph] = agg.minus(prev.get(ph, PhaseAggregate()))
+            out.append(delta)
+            prev = snap
+        return out
+
+    def mean_iterations(self, system: str) -> float:
+        """Mean linear iterations per solve of one equation system."""
+        its = self.solve_iterations.get(system, [])
+        return float(np.mean(its)) if its else 0.0
+
+
+class NaluWindSimulation:
+    """Incompressible-flow solve over an overset turbine mesh system."""
+
+    def __init__(
+        self,
+        workload: str | TurbineMeshSystem,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.config.validate()
+        if isinstance(workload, str):
+            self.workload_name = workload
+            self.system = make_workload(workload)
+        else:
+            self.workload_name = workload.name
+            self.system = workload
+        self.world = SimWorld(self.config.nranks)
+        self.timers = PhaseTimers()
+        self.comp = CompositeMesh(
+            self.world, self.system, self.config.partition_method
+        )
+        self.momentum = MomentumSystem(self.comp, self.config, self.timers)
+        self.pressure = PressurePoissonSystem(
+            self.comp, self.config, self.timers
+        )
+        self.scalar = ScalarTransportSystem(self.comp, self.config, self.timers)
+        self.systems = (self.momentum, self.pressure, self.scalar)
+        self.initialize_fields()
+        self.step_snapshots: list[dict[str, PhaseAggregate]] = []
+        self.divergence_norms: list[float] = []
+
+    # -- state -------------------------------------------------------------------
+
+    def initialize_fields(self) -> None:
+        """Cold start: uniform inflow everywhere (paper §5)."""
+        n = self.comp.n
+        cfg = self.config
+        self.velocity = np.tile(np.asarray(cfg.inflow_velocity), (n, 1))
+        self.velocity_old = self.velocity.copy()
+        self.pressure_field = np.zeros(n)
+        self.pressure_correction = np.zeros(n)
+        self.scalar_field = np.full(n, ScalarTransportSystem.inflow_value)
+        self.scalar_old = self.scalar_field.copy()
+        # Register nodal-field memory with the allocator model.
+        per_rank = 9.0 * 8.0 * n / self.world.size
+        for r in range(self.world.size):
+            self.world.ops.record_alloc(r, per_rank)
+
+    def _new_to_app(self, data_new: np.ndarray) -> np.ndarray:
+        """Reorder a solved (rank-block) vector back to application order."""
+        return data_new[self.comp.numbering.old_to_new]
+
+    def effective_viscosity(self) -> np.ndarray:
+        """Molecular + turbulence-scalar eddy viscosity."""
+        cfg = self.config
+        return cfg.viscosity + cfg.density * np.maximum(
+            self.scalar_field, 0.0
+        )
+
+    # -- nonlinear iteration ---------------------------------------------------------
+
+    def picard_iteration(self) -> None:
+        cfg = self.config
+        comp = self.comp
+
+        # Momentum: one operator, three RHS/solves.  The projection
+        # timescale tau = rho V / a_p (SIMPLE-consistent) is evaluated from
+        # the same advection/diffusion state the operator is built from.
+        mu_eff = self.effective_viscosity()
+        bflux = boundary_mass_flux(comp, self.velocity, cfg.density)
+        mdot_plain = mass_flux(comp, self.velocity, cfg.density)
+        tau_node = self.momentum.projection_tau(mdot_plain, mu_eff, bflux)
+        a, b = comp.edges[:, 0], comp.edges[:, 1]
+        tau_edge = 0.5 * (tau_node[a] + tau_node[b])
+        mdot = mass_flux(
+            comp,
+            self.velocity,
+            cfg.density,
+            pressure=self.pressure_field if cfg.rhie_chow else None,
+            tau=tau_edge if cfg.rhie_chow else 0.0,
+        )
+        A_m, rhs_u = self.momentum.assemble(
+            mdot=mdot,
+            mu_eff=mu_eff,
+            component=0,
+            velocity=self.velocity,
+            velocity_old=self.velocity_old,
+            pressure=self.pressure_field,
+            boundary_flux=bflux,
+        )
+        u_star = self.velocity.copy()
+        res = self.momentum.solve(A_m, rhs_u)
+        u_star[:, 0] = self._new_to_app(res.x.data)
+        for c in (1, 2):
+            rhs_c = self._momentum_rhs_only(c)
+            res = self.momentum.solve(A_m, rhs_c)
+            u_star[:, c] = self._new_to_app(res.x.data)
+        # SIMPLE-style velocity under-relaxation on free rows: damps the
+        # nonlinear u <-> p Picard loop at large advective CFL.
+        alpha_u = cfg.velocity_relax
+        if alpha_u < 1.0:
+            free_m = np.ones(comp.n, dtype=bool)
+            free_m[self.momentum.constraint_rows()] = False
+            u_star[free_m] = (
+                alpha_u * u_star[free_m]
+                + (1.0 - alpha_u) * self.velocity[free_m]
+            )
+
+        # Pressure projection.
+        mdot_star = mass_flux(
+            comp,
+            u_star,
+            cfg.density,
+            pressure=self.pressure_field if cfg.rhie_chow else None,
+            tau=tau_edge if cfg.rhie_chow else 0.0,
+        )
+        # Overset constraint for the correction: enforce continuity of the
+        # *total* pressure across mesh boundaries, p_rec + p'_rec =
+        # interp(p_donor); as the Picard iteration converges the receptor
+        # corrections go to zero together with the field mismatch.
+        pc_bc = np.zeros(comp.n)
+        for ds in comp.donor_sets:
+            pc_bc[ds.receptors] = (
+                ds.interpolate(self.pressure_field)
+                - self.pressure_field[ds.receptors]
+            )
+        bflux_star = boundary_mass_flux(comp, u_star, cfg.density)
+        A_p, rhs_p = self.pressure.assemble(
+            mdot=mdot_star,
+            pressure_correction_bc=pc_bc,
+            boundary_flux=bflux_star,
+            tau_edge=tau_edge,
+        )
+        res_p = self.pressure.solve(A_p, rhs_p)
+        p_prime = self._new_to_app(res_p.x.data)
+        self.pressure_correction = p_prime
+        # Under-relaxed pressure accumulation; the velocity/flux correction
+        # below still uses the full p' so the corrected mass flux satisfies
+        # the discrete continuity this projection just solved.
+        self.pressure_field = (
+            self.pressure_field + cfg.pressure_relax * p_prime
+        )
+
+        # Velocity / flux correction on free momentum rows, scaled by the
+        # same tau the projection operator used.
+        grad_p = least_squares_gradient(comp, p_prime)
+        free = np.ones(comp.n, dtype=bool)
+        free[self.momentum.constraint_rows()] = False
+        self.velocity = u_star.copy()
+        self.velocity[free] -= (
+            (tau_node[free] / cfg.density)[:, None] * grad_p[free]
+        )
+
+        # Corrected mass flux drives the scalar advection.
+        g_e = self.pressure.laplace_coefficients(tau_edge)
+        self.mdot = mdot_star - g_e * (p_prime[b] - p_prime[a])
+
+        # Scalar transport.
+        A_s, rhs_s = self.scalar.assemble(
+            mdot=self.mdot,
+            scalar=self.scalar_field,
+            scalar_old=self.scalar_old,
+            boundary_flux=boundary_mass_flux(
+                comp, self.velocity, cfg.density
+            ),
+        )
+        res_s = self.scalar.solve(A_s, rhs_s)
+        self.scalar_field = self._new_to_app(res_s.x.data)
+
+    def _momentum_rhs_only(self, component: int):
+        """Reassemble only the momentum RHS for another component."""
+        m = self.momentum
+        with self.timers.measure(m.phase("local_assembly")):
+            with self.world.phase_scope(m.phase("local_assembly")):
+                m.assembler.reset_rhs()
+                m.fill_rhs(
+                    m.assembler,
+                    component,
+                    self.velocity,
+                    self.velocity_old,
+                    self.pressure_field,
+                )
+                local = m.assembler.finalize()
+        with self.timers.measure(m.phase("global_assembly")):
+            with self.world.phase_scope(m.phase("global_assembly")):
+                rhs = assemble_global_vector(
+                    self.world,
+                    self.comp.numbering,
+                    local,
+                    variant=self.config.assembly_variant,
+                )
+        return rhs
+
+    # -- time stepping ----------------------------------------------------------------
+
+    def step(self) -> None:
+        """One time step: motion, connectivity, graphs, Picard loop."""
+        cfg = self.config
+        with self.timers.measure("motion"):
+            with self.world.phase_scope("motion"):
+                self.system.advance_rotor(cfg.dt)
+                self.comp.update_connectivity()
+        for eq in self.systems:
+            eq.update_graph()
+        for _ in range(cfg.picard_iterations):
+            self.picard_iteration()
+        # Mass-conservation diagnostic on free pressure rows (interior
+        # edge fluxes plus open boundary faces).
+        div = np.zeros(self.comp.n)
+        a, b = self.comp.edges[:, 0], self.comp.edges[:, 1]
+        np.add.at(div, a, self.mdot)
+        np.add.at(div, b, -self.mdot)
+        div += boundary_mass_flux(
+            self.comp, self.velocity, self.config.density
+        )
+        free = np.ones(self.comp.n, dtype=bool)
+        free[self.pressure.constraint_rows()] = False
+        self.divergence_norms.append(
+            float(np.linalg.norm(div[free]))
+            / max(float(np.linalg.norm(self.mdot)), 1e-300)
+        )
+        self.velocity_old = self.velocity.copy()
+        self.scalar_old = self.scalar_field.copy()
+        self.step_snapshots.append(collect_phase_aggregates(self.world))
+
+    def run(self, n_steps: int) -> SimulationReport:
+        """Advance ``n_steps`` and return the run report."""
+        for _ in range(n_steps):
+            self.step()
+        return SimulationReport(
+            config=self.config,
+            workload=self.workload_name,
+            total_nodes=self.comp.n,
+            n_steps=n_steps,
+            step_snapshots=list(self.step_snapshots),
+            solve_iterations={
+                eq.name: [r.iterations for r in eq.solve_records]
+                for eq in self.systems
+            },
+            peak_alloc_bytes=self.world.ops.peak_alloc(),
+            wall_times=self.timers.snapshot(),
+            divergence_norms=list(self.divergence_norms),
+        )

@@ -1,0 +1,50 @@
+"""Hierarchical wall-clock phase timers.
+
+The paper's log files output per-equation, per-phase times (graph+physics,
+local assembly, global assembly, preconditioner setup, solve) that Figures
+6-7 plot.  :class:`PhaseTimers` measures the host wall clock of the same
+phases; the *simulated machine* times come from the cost model, and the two
+are reported side by side by the harness.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class PhaseTimers:
+    """Accumulating named wall-clock timers."""
+
+    def __init__(self) -> None:
+        self._total: dict[str, float] = defaultdict(float)
+        self._count: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self._total[name] += dt
+            self._count[name] += 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds for a phase."""
+        return self._total.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of measured intervals for a phase."""
+        return self._count.get(name, 0)
+
+    def names(self) -> list[str]:
+        """All phase names seen."""
+        return sorted(self._total)
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of the accumulated totals."""
+        return dict(self._total)

@@ -1,0 +1,34 @@
+"""Benchmark harness: strong-scaling sweeps, pricing, report rendering."""
+
+from repro.harness.scaling import (
+    NLISeries,
+    ScalingPoint,
+    default_work_scale,
+    equation_breakdown,
+    nli_series,
+    nli_step_times,
+    run_strong_scaling,
+)
+from repro.harness.projection import (
+    CapabilityPoint,
+    paper_projection,
+    project_capability,
+)
+from repro.harness.report import emit, format_table, loglog_chart, series_table
+
+__all__ = [
+    "CapabilityPoint",
+    "NLISeries",
+    "ScalingPoint",
+    "default_work_scale",
+    "emit",
+    "equation_breakdown",
+    "format_table",
+    "loglog_chart",
+    "nli_series",
+    "nli_step_times",
+    "paper_projection",
+    "project_capability",
+    "run_strong_scaling",
+    "series_table",
+]

@@ -1,0 +1,79 @@
+"""Exascale capability projection (paper §6).
+
+The paper's Discussion extrapolates from its largest run: "our largest
+mesh, with 640 million mesh nodes, ran on 1/6 the total GPU resources on
+Summit, which has peak double-precision computational throughput of 200
+PetaFlops/sec, we estimate that a mesh with approximately four billion
+nodes would display similar strong scaling characteristics on the entire
+Summit machine.  Moreover, a mesh with 20-30 billion mesh nodes would
+require exascale compute resources."
+
+The same arithmetic — hold mesh-nodes-per-GPU fixed at the demonstrated
+operating point and scale the GPU pool — is reproduced here from the
+*measured* runs, so the projection updates automatically with the
+reproduction's own operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Summit: 4608 nodes x 6 V100; ~200 PF peak DP.
+SUMMIT_TOTAL_GPUS = 27_648
+SUMMIT_PEAK_PFLOPS = 200.0
+
+
+@dataclass
+class CapabilityPoint:
+    """One row of the capability projection."""
+
+    label: str
+    gpus: int
+    peak_pflops: float
+    mesh_nodes: float
+
+
+def project_capability(
+    mesh_nodes: float,
+    gpus_used: int,
+    paper_scale: float = 1.0,
+) -> list[CapabilityPoint]:
+    """Project mesh capability at fixed mesh-nodes-per-GPU.
+
+    Args:
+        mesh_nodes: mesh size of the demonstrated run (simulation scale).
+        gpus_used: GPU count of the demonstrated run.
+        paper_scale: multiply ``mesh_nodes`` by this to express the
+            projection at paper scale (1000x for the scaled meshes).
+
+    Returns:
+        Projection rows for the demonstrated fraction, full Summit, and an
+        exascale machine (5x Summit peak).
+    """
+    nodes_per_gpu = mesh_nodes * paper_scale / gpus_used
+    rows = [
+        CapabilityPoint(
+            label="demonstrated",
+            gpus=gpus_used,
+            peak_pflops=SUMMIT_PEAK_PFLOPS * gpus_used / SUMMIT_TOTAL_GPUS,
+            mesh_nodes=nodes_per_gpu * gpus_used,
+        ),
+        CapabilityPoint(
+            label="full Summit",
+            gpus=SUMMIT_TOTAL_GPUS,
+            peak_pflops=SUMMIT_PEAK_PFLOPS,
+            mesh_nodes=nodes_per_gpu * SUMMIT_TOTAL_GPUS,
+        ),
+        CapabilityPoint(
+            label="exascale (5x Summit)",
+            gpus=5 * SUMMIT_TOTAL_GPUS,
+            peak_pflops=5 * SUMMIT_PEAK_PFLOPS,
+            mesh_nodes=nodes_per_gpu * 5 * SUMMIT_TOTAL_GPUS,
+        ),
+    ]
+    return rows
+
+
+def paper_projection() -> list[CapabilityPoint]:
+    """The paper's own numbers: 634M nodes on 4320 GPUs (1/6 of Summit)."""
+    return project_capability(634_469_604, 4320)

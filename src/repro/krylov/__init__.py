@@ -1,0 +1,17 @@
+"""Krylov solvers: right-preconditioned GMRES, low-sync Gram-Schmidt."""
+
+from repro.krylov.cg import CG, CGResult
+from repro.krylov.gmres import GMRES, GMRESResult, Preconditioner
+from repro.krylov.gram_schmidt import VARIANTS as GS_VARIANTS
+from repro.krylov.gram_schmidt import batched_dots, orthogonalize
+
+__all__ = [
+    "CG",
+    "CGResult",
+    "GMRES",
+    "GMRESResult",
+    "GS_VARIANTS",
+    "Preconditioner",
+    "batched_dots",
+    "orthogonalize",
+]

@@ -1,0 +1,21 @@
+"""Distributed sparse linear algebra (the hypre ParCSR analogue)."""
+
+from repro.linalg.parcsr import ParCSRMatrix, RankBlocks, spmv_bytes
+from repro.linalg.parvector import ParVector
+from repro.linalg.spgemm import (
+    galerkin_product,
+    record_spgemm,
+    spgemm,
+    spgemm_products,
+)
+
+__all__ = [
+    "ParCSRMatrix",
+    "ParVector",
+    "RankBlocks",
+    "galerkin_product",
+    "record_spgemm",
+    "spgemm",
+    "spgemm_products",
+    "spmv_bytes",
+]

@@ -1,0 +1,85 @@
+"""Nodal field storage (the STK field-manager analogue).
+
+Fields are plain NumPy arrays keyed by name per mesh; vector fields have a
+trailing component dimension.  Nalu-Wind keeps two time states for the BDF
+time integrator; :class:`FieldManager` mirrors that with explicit
+``shift_time_states``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.hexmesh import HexMesh
+
+
+class FieldManager:
+    """Named nodal fields on one mesh, with optional old-time copies."""
+
+    def __init__(self, mesh: HexMesh) -> None:
+        self.mesh = mesh
+        self._fields: dict[str, np.ndarray] = {}
+        self._old: dict[str, np.ndarray] = {}
+
+    def register(
+        self, name: str, ncomp: int = 1, value: float = 0.0, time_states: int = 1
+    ) -> np.ndarray:
+        """Create (or return existing) field with ``ncomp`` components.
+
+        Args:
+            name: field name.
+            ncomp: 1 for scalars (stored 1-D), >1 for vectors.
+            value: initial fill value.
+            time_states: 2 keeps an old-time copy updated by
+                :meth:`shift_time_states`.
+
+        Returns:
+            The current-time array.
+        """
+        if name in self._fields:
+            return self._fields[name]
+        shape = (self.mesh.n_nodes,) if ncomp == 1 else (self.mesh.n_nodes, ncomp)
+        arr = np.full(shape, value, dtype=np.float64)
+        self._fields[name] = arr
+        if time_states > 1:
+            self._old[name] = arr.copy()
+        return arr
+
+    def get(self, name: str) -> np.ndarray:
+        """Current-time array of a registered field."""
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise KeyError(
+                f"field {name!r} not registered on mesh {self.mesh.name!r}; "
+                f"have {sorted(self._fields)}"
+            ) from None
+
+    def old(self, name: str) -> np.ndarray:
+        """Old-time array of a field registered with ``time_states=2``."""
+        try:
+            return self._old[name]
+        except KeyError:
+            raise KeyError(
+                f"field {name!r} has no old-time state on mesh "
+                f"{self.mesh.name!r}"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        """Whether a field is registered."""
+        return name in self._fields
+
+    def names(self) -> list[str]:
+        """Registered field names."""
+        return sorted(self._fields)
+
+    def shift_time_states(self) -> None:
+        """Copy current into old for every two-state field (end of step)."""
+        for name, old in self._old.items():
+            old[...] = self._fields[name]
+
+    def nbytes(self) -> int:
+        """Total bytes of field storage (device-memory accounting)."""
+        return sum(a.nbytes for a in self._fields.values()) + sum(
+            a.nbytes for a in self._old.values()
+        )

@@ -1,0 +1,25 @@
+"""Overset grid assembly (TIOGA analogue): holes, fringes, donors."""
+
+from repro.overset.assembler import (
+    DonorSet,
+    NodeStatus,
+    OversetAssembler,
+    OversetConnectivity,
+)
+from repro.overset.trilinear import (
+    contains,
+    invert_map,
+    shape_functions,
+    shape_gradients,
+)
+
+__all__ = [
+    "DonorSet",
+    "NodeStatus",
+    "OversetAssembler",
+    "OversetConnectivity",
+    "contains",
+    "invert_map",
+    "shape_functions",
+    "shape_gradients",
+]

@@ -1,0 +1,111 @@
+"""Trilinear hex shape functions and inverse isoparametric mapping.
+
+Overset donor interpolation (TIOGA's role, paper §2) evaluates receptor
+values from the 8 nodes of the containing donor hex with trilinear weights.
+Finding the weights requires inverting the isoparametric map
+``x(xi) = sum_i N_i(xi) x_i`` for the reference coordinates ``xi`` of the
+receptor point; we do that with a vectorized Newton iteration over all
+receptor/candidate pairs at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Reference-corner signs in the standard hex8 ordering used by
+# repro.mesh.topology (bottom face CCW, then top face CCW).
+_CORNERS = np.array(
+    [
+        [-1, -1, -1],
+        [1, -1, -1],
+        [1, 1, -1],
+        [-1, 1, -1],
+        [-1, -1, 1],
+        [1, -1, 1],
+        [1, 1, 1],
+        [-1, 1, 1],
+    ],
+    dtype=np.float64,
+)
+
+
+def shape_functions(xi: np.ndarray) -> np.ndarray:
+    """Trilinear shape functions.
+
+    Args:
+        xi: ``(m, 3)`` reference coordinates in ``[-1, 1]^3``.
+
+    Returns:
+        ``(m, 8)`` weights; rows sum to 1 for any ``xi``.
+    """
+    xi = np.atleast_2d(xi)
+    terms = 1.0 + xi[:, None, :] * _CORNERS[None, :, :]
+    return 0.125 * terms.prod(axis=2)
+
+
+def shape_gradients(xi: np.ndarray) -> np.ndarray:
+    """d N_i / d xi_d: ``(m, 8, 3)``."""
+    xi = np.atleast_2d(xi)
+    terms = 1.0 + xi[:, None, :] * _CORNERS[None, :, :]  # (m, 8, 3)
+    grads = np.empty((xi.shape[0], 8, 3))
+    for d in range(3):
+        others = [a for a in range(3) if a != d]
+        grads[:, :, d] = (
+            0.125
+            * _CORNERS[None, :, d]
+            * terms[:, :, others[0]]
+            * terms[:, :, others[1]]
+        )
+    return grads
+
+
+def invert_map(
+    corners: np.ndarray,
+    points: np.ndarray,
+    iters: int = 15,
+    tol: float = 1e-24,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Invert the trilinear map for a batch of (cell, point) pairs.
+
+    Args:
+        corners: ``(m, 8, 3)`` physical corner coordinates.
+        points: ``(m, 3)`` target physical points.
+        iters: Newton iterations.
+        tol: squared-residual convergence threshold.
+
+    Returns:
+        ``(xi, converged)``: reference coordinates ``(m, 3)`` and a boolean
+        convergence/containment-quality flag per pair (Newton residual
+        small; containment is judged by the caller from ``xi``).
+    """
+    m = points.shape[0]
+    xi = np.zeros((m, 3))
+    if m == 0:
+        return xi, np.zeros(0, dtype=bool)
+    ok = np.zeros(m, dtype=bool)
+    for _ in range(iters):
+        N = shape_functions(xi)  # (m, 8)
+        xcur = np.einsum("mi,mid->md", N, corners)
+        res = points - xcur
+        r2 = np.einsum("md,md->m", res, res)
+        scale = np.einsum("mid,mid->m", corners, corners) / 8.0 + 1e-300
+        ok = r2 <= tol * scale
+        if np.all(ok):
+            break
+        G = shape_gradients(xi)  # (m, 8, 3)
+        J = np.einsum("mid,mie->mde", G, corners)  # dx/dxi transposed blocks
+        # Solve J^T dxi = res per pair (3x3 systems, batched).
+        try:
+            dxi = np.linalg.solve(np.swapaxes(J, 1, 2), res[:, :, None])[..., 0]
+        except np.linalg.LinAlgError:
+            # Singular cells: damp with pseudo-inverse.
+            dxi = np.einsum(
+                "mde,me->md", np.linalg.pinv(np.swapaxes(J, 1, 2)), res
+            )
+        xi = np.clip(xi + dxi, -2.0, 2.0)
+    return xi, ok
+
+
+def contains(xi: np.ndarray, tol: float = 1e-6) -> np.ndarray:
+    """Whether reference coordinates fall inside the element."""
+    return np.all(np.abs(xi) <= 1.0 + tol, axis=1)

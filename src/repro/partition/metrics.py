@@ -1,0 +1,96 @@
+"""Partition-quality metrics: the paper's nnz-per-rank balance plots.
+
+Figures 5 and 10 of the paper measure decomposition quality as the median
+number of matrix nonzeros per GPU (MPI rank) with error bars at the
+min/max.  These helpers compute exactly those statistics from a matrix and
+a part assignment, plus the edge cut and subdomain-connectivity diagnostics
+behind the paper's Fig. 4 "sliver" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.csgraph import connected_components
+
+
+@dataclass
+class BalanceStats:
+    """nnz-per-rank balance summary (one point of Fig. 5 / Fig. 10)."""
+
+    nparts: int
+    median: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    @property
+    def spread(self) -> float:
+        """max - min, the paper's error-bar height."""
+        return self.maximum - self.minimum
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean, the classical load-imbalance factor."""
+        mean = (self.median if self.median > 0 else 1.0)
+        return self.maximum / mean
+
+
+def nnz_per_rank(matrix: sparse.spmatrix, parts: np.ndarray) -> np.ndarray:
+    """Nonzeros in each rank's owned rows.
+
+    Args:
+        matrix: assembled global matrix.
+        parts: ``(n,)`` owning rank per row.
+
+    Returns:
+        ``(nparts,)`` nonzero counts.
+    """
+    A = matrix.tocsr()
+    row_nnz = np.diff(A.indptr)
+    nparts = int(parts.max()) + 1
+    out = np.zeros(nparts, dtype=np.int64)
+    np.add.at(out, parts, row_nnz)
+    return out
+
+
+def balance_stats(matrix: sparse.spmatrix, parts: np.ndarray) -> BalanceStats:
+    """Median/min/max/stdev of nnz per rank (paper Figs. 5, 10)."""
+    counts = nnz_per_rank(matrix, parts)
+    return BalanceStats(
+        nparts=counts.size,
+        median=float(np.median(counts)),
+        minimum=float(counts.min()),
+        maximum=float(counts.max()),
+        stdev=float(counts.std()),
+    )
+
+
+def edge_cut(adjacency: sparse.spmatrix, parts: np.ndarray) -> int:
+    """Number of graph edges crossing part boundaries."""
+    coo = sparse.coo_matrix(adjacency)
+    mask = (coo.row < coo.col) & (parts[coo.row] != parts[coo.col])
+    return int(np.count_nonzero(mask))
+
+
+def components_per_rank(
+    adjacency: sparse.spmatrix, parts: np.ndarray
+) -> np.ndarray:
+    """Connected components of each rank's induced subgraph.
+
+    RCB on overset turbine systems produces disconnected rank territories
+    (the paper's Fig. 4 slivers); values > 1 here are that pathology.
+    """
+    A = sparse.csr_matrix(adjacency)
+    nparts = int(parts.max()) + 1
+    out = np.zeros(nparts, dtype=np.int64)
+    for p in range(nparts):
+        idx = np.flatnonzero(parts == p)
+        if idx.size == 0:
+            continue
+        sub = A[idx][:, idx]
+        ncomp, _ = connected_components(sub, directed=False)
+        out[p] = ncomp
+    return out

@@ -1,0 +1,341 @@
+"""Multilevel k-way graph partitioner (the ParMETIS substitute).
+
+The paper introduced ParMETIS-based mesh rebalancing to fix RCB's imbalance
+(§5.1); we reproduce the property it relies on — nonzero-balanced, compact,
+graph-aware parts — with the classic multilevel scheme ParMETIS itself uses:
+
+1. **Coarsen** by heavy-edge matching until the graph is small,
+2. **Initial partition** the coarsest graph by recursive spectral bisection
+   (Fiedler vector, weighted-median split),
+3. **Uncoarsen** and apply rounds of boundary Kernighan-Lin/FM-style
+   refinement at every level.
+
+Vertex weights (row nonzeros when partitioning a matrix graph) are balanced;
+edge weights guide the matching and the cut.
+
+Everything is vectorized: matching is done with rounds of mutual-heaviest-
+neighbor proposals (a Luby-style symmetric-proposal scheme) instead of a
+sequential greedy sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+
+def heavy_edge_matching(
+    A: sparse.csr_matrix, rng: np.random.Generator, max_rounds: int = 8
+) -> np.ndarray:
+    """Heavy-edge matching via Luby-style edge local maxima.
+
+    Each round assigns every active edge a priority = (weight, random
+    tie-break); an edge is matched when it is the top-priority active edge
+    at *both* endpoints (a maximal-matching analogue of Luby's MIS, which is
+    also how PMIS breaks ties — paper §4.1).  Rounds repeat on the still
+    unmatched remainder, so the scheme is fully vectorized yet matches a
+    large fraction of vertices.
+
+    Returns:
+        ``(n,)`` aggregate labels in ``[0, n_coarse)``; matched pairs share a
+        label, unmatched vertices get their own.
+    """
+    n = A.shape[0]
+    coo = sparse.triu(A, k=1).tocoo()
+    ei, ej, ew = coo.row, coo.col, coo.data
+    matched = np.zeros(n, dtype=bool)
+    mate = np.arange(n, dtype=np.int64)
+    if ei.size:
+        wmax = float(ew.max())
+        for _ in range(max_rounds):
+            active = ~matched[ei] & ~matched[ej]
+            if not np.any(active):
+                break
+            # Distinct priorities: heavy edges first, random tie-break.
+            prio = np.full(ei.size, -np.inf)
+            u = rng.random(int(active.sum()))
+            prio[active] = ew[active] + (1e-6 * wmax) * u
+            vmax = np.full(n, -np.inf)
+            np.maximum.at(vmax, ei, prio)
+            np.maximum.at(vmax, ej, prio)
+            win = active & (prio >= vmax[ei]) & (prio >= vmax[ej])
+            wi, wj = ei[win], ej[win]
+            if wi.size == 0:
+                break
+            matched[wi] = True
+            matched[wj] = True
+            mate[wj] = wi
+    # Compress to contiguous aggregate ids (representative = min of pair).
+    rep = np.minimum(mate, np.arange(n))
+    _, agg = np.unique(rep, return_inverse=True)
+    return agg
+
+
+def _coarsen(
+    A: sparse.csr_matrix, vwgt: np.ndarray, agg: np.ndarray
+) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Build the coarse graph/weights induced by an aggregation."""
+    nc = int(agg.max()) + 1
+    n = A.shape[0]
+    P = sparse.csr_matrix(
+        (np.ones(n), (np.arange(n), agg)), shape=(n, nc)
+    )
+    Ac = (P.T @ A @ P).tocsr()
+    Ac.setdiag(0.0)
+    Ac.eliminate_zeros()
+    vc = np.zeros(nc)
+    np.add.at(vc, agg, vwgt)
+    return Ac, vc
+
+
+def _fiedler_bisect(
+    A: sparse.csr_matrix, vwgt: np.ndarray, ratio: float
+) -> np.ndarray:
+    """Bisect a small graph with the Fiedler vector at the weighted median.
+
+    Args:
+        A: symmetric weighted adjacency (small; densified internally).
+        vwgt: vertex weights to balance.
+        ratio: weight fraction assigned to side 0.
+
+    Returns:
+        boolean array, True for side 1.
+    """
+    n = A.shape[0]
+    if n <= 2:
+        return np.arange(n) >= max(1, round(n * ratio))
+    D = np.asarray(A.sum(axis=1)).ravel()
+    L = np.diag(D) - A.toarray()
+    # Second-smallest eigenvector of the Laplacian.
+    vals, vecs = np.linalg.eigh(L)
+    fiedler = vecs[:, 1]
+    order = np.argsort(fiedler, kind="stable")
+    csum = np.cumsum(vwgt[order])
+    target = vwgt.sum() * ratio
+    cut = int(np.searchsorted(csum, target))
+    cut = min(max(cut, 1), n - 1)
+    side1 = np.zeros(n, dtype=bool)
+    side1[order[cut:]] = True
+    return side1
+
+
+def _initial_partition(
+    A: sparse.csr_matrix, vwgt: np.ndarray, nparts: int
+) -> np.ndarray:
+    """Recursive spectral bisection of the coarsest graph."""
+    n = A.shape[0]
+    parts = np.zeros(n, dtype=np.int64)
+    stack = [(np.arange(n, dtype=np.int64), 0, nparts)]
+    while stack:
+        idx, base, k = stack.pop()
+        if k == 1 or idx.size <= 1:
+            parts[idx] = base
+            continue
+        kl = (k + 1) // 2
+        kr = k - kl
+        sub = A[idx][:, idx].tocsr()
+        side1 = _fiedler_bisect(sub, vwgt[idx], kl / k)
+        stack.append((idx[~side1], base, kl))
+        stack.append((idx[side1], base + kl, kr))
+    return parts
+
+
+def _refine(
+    A: sparse.csr_matrix,
+    vwgt: np.ndarray,
+    parts: np.ndarray,
+    nparts: int,
+    passes: int = 6,
+    tol: float = 0.05,
+) -> np.ndarray:
+    """Boundary FM-style refinement: greedy gain moves under balance."""
+    parts = parts.copy()
+    n = A.shape[0]
+    total = vwgt.sum()
+    target = total / nparts
+    cap = target * (1.0 + tol)
+    part_w = np.zeros(nparts)
+    np.add.at(part_w, parts, vwgt)
+
+    for _ in range(passes):
+        # Boundary vertices: endpoints of cut edges.
+        coo = A.tocoo()
+        cut_mask = parts[coo.row] != parts[coo.col]
+        if not np.any(cut_mask):
+            break
+        bnd = np.unique(
+            np.concatenate([coo.row[cut_mask], coo.col[cut_mask]])
+        )
+        # Connectivity of boundary vertices to each part.
+        onehot = sparse.csr_matrix(
+            (np.ones(n), (np.arange(n), parts)), shape=(n, nparts)
+        )
+        conn = np.asarray((A[bnd] @ onehot).todense())  # (nb, nparts)
+        own = parts[bnd]
+        internal = conn[np.arange(bnd.size), own]
+        conn[np.arange(bnd.size), own] = -np.inf
+        best_part = np.argmax(conn, axis=1)
+        best_ext = conn[np.arange(bnd.size), best_part]
+        gain = best_ext - internal
+        movable = gain > 0
+        if not np.any(movable):
+            break
+        # Order by descending gain; apply sequentially against live part
+        # weights (cheap: boundary sets are small).
+        cand = np.flatnonzero(movable)
+        cand = cand[np.argsort(-gain[cand], kind="stable")]
+        moved = 0
+        for c in cand:
+            v = bnd[c]
+            p, q = parts[v], best_part[c]
+            if p == q:
+                continue
+            if part_w[q] + vwgt[v] > cap:
+                continue
+            if part_w[p] - vwgt[v] < 0.25 * target:
+                continue
+            parts[v] = q
+            part_w[p] -= vwgt[v]
+            part_w[q] += vwgt[v]
+            moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def _rebalance(
+    A: sparse.csr_matrix,
+    vwgt: np.ndarray,
+    parts: np.ndarray,
+    nparts: int,
+    tol: float,
+    max_passes: int = 12,
+) -> np.ndarray:
+    """Hard balance pass: drain overloaded parts through their boundaries.
+
+    The gain-driven refinement only moves vertices with positive cut gain;
+    when parts are small that can leave weight imbalance behind.  This pass
+    moves boundary vertices out of over-capacity parts into their least
+    loaded neighboring part (accepting cut degradation) until every part
+    fits under ``(1 + tol) * target``.
+    """
+    parts = parts.copy()
+    n = A.shape[0]
+    total = vwgt.sum()
+    target = total / nparts
+    cap = target * (1.0 + tol)
+    part_w = np.zeros(nparts)
+    np.add.at(part_w, parts, vwgt)
+    indptr, indices = A.indptr, A.indices
+    for _ in range(max_passes):
+        over = np.flatnonzero(part_w > cap)
+        if over.size == 0:
+            break
+        moved = 0
+        for p in over:
+            members = np.flatnonzero(parts == p)
+            # Boundary members with their candidate destination parts.
+            order = np.argsort(vwgt[members])  # move light vertices first
+            for v in members[order]:
+                if part_w[p] <= cap:
+                    break
+                nbr_parts = parts[indices[indptr[v] : indptr[v + 1]]]
+                nbr_parts = np.unique(nbr_parts[nbr_parts != p])
+                if nbr_parts.size == 0:
+                    continue
+                q = nbr_parts[np.argmin(part_w[nbr_parts])]
+                if part_w[q] + vwgt[v] > cap:
+                    continue
+                parts[v] = q
+                part_w[p] -= vwgt[v]
+                part_w[q] += vwgt[v]
+                moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+@dataclass
+class MultilevelOptions:
+    """Tuning knobs for :func:`multilevel_partition`."""
+
+    coarsest_size: int = 384
+    max_levels: int = 20
+    refine_passes: int = 6
+    balance_tol: float = 0.05
+    seed: int = 0
+
+
+def multilevel_partition(
+    adjacency: sparse.spmatrix,
+    nparts: int,
+    vertex_weights: np.ndarray | None = None,
+    options: MultilevelOptions | None = None,
+) -> np.ndarray:
+    """Partition a graph into ``nparts`` with the multilevel scheme.
+
+    Args:
+        adjacency: symmetric adjacency (weights used as edge weights;
+            diagonal ignored).
+        nparts: number of parts.
+        vertex_weights: per-vertex weights to balance (default 1).
+        options: tuning knobs.
+
+    Returns:
+        ``(n,)`` part assignment in ``[0, nparts)``.
+    """
+    opt = options or MultilevelOptions()
+    A = sparse.csr_matrix(adjacency, copy=True).astype(np.float64)
+    A.setdiag(0.0)
+    A.eliminate_zeros()
+    n = A.shape[0]
+    if nparts < 1:
+        raise ValueError("nparts must be positive")
+    if nparts == 1:
+        return np.zeros(n, dtype=np.int64)
+    vwgt = (
+        np.ones(n)
+        if vertex_weights is None
+        else np.asarray(vertex_weights, dtype=np.float64)
+    )
+    if vwgt.shape != (n,):
+        raise ValueError("vertex_weights must be one per vertex")
+    rng = np.random.default_rng(opt.seed)
+
+    # Coarsening phase.
+    graphs = [A]
+    weights = [vwgt]
+    aggs: list[np.ndarray] = []
+    target = max(opt.coarsest_size, 24 * nparts)
+    while graphs[-1].shape[0] > target and len(graphs) < opt.max_levels:
+        agg = heavy_edge_matching(graphs[-1], rng)
+        nc = int(agg.max()) + 1
+        if nc >= graphs[-1].shape[0] * 0.95:
+            break  # matching stalled (e.g. star graphs)
+        Ac, vc = _coarsen(graphs[-1], weights[-1], agg)
+        graphs.append(Ac)
+        weights.append(vc)
+        aggs.append(agg)
+
+    # Initial partition on the coarsest level.
+    parts = _initial_partition(graphs[-1], weights[-1], nparts)
+    parts = _refine(
+        graphs[-1], weights[-1], parts, nparts, opt.refine_passes, opt.balance_tol
+    )
+
+    # Uncoarsening with refinement at every level.
+    for level in range(len(aggs) - 1, -1, -1):
+        parts = parts[aggs[level]]
+        parts = _refine(
+            graphs[level],
+            weights[level],
+            parts,
+            nparts,
+            opt.refine_passes,
+            opt.balance_tol,
+        )
+    # Enforce the balance constraint on the finest level.
+    parts = _rebalance(A, vwgt, parts, nparts, opt.balance_tol)
+    return parts

@@ -1,0 +1,43 @@
+"""Performance substrate: op counting, machine catalog, cost model.
+
+This is the substitution for the paper's Summit/Eagle hardware (DESIGN.md
+§2): real algorithm executions report their work here, and the cost model
+prices that work on published hardware rates.
+"""
+
+from repro.perf.cost import (
+    CostModel,
+    PhaseAggregate,
+    PhaseTime,
+    collect_phase_aggregates,
+)
+from repro.perf.machines import (
+    EAGLE_CPU,
+    EAGLE_CPU_GRP,
+    EAGLE_GPU,
+    MACHINES,
+    SUMMIT_CPU,
+    SUMMIT_CPU_GRP,
+    SUMMIT_GPU,
+    MachineSpec,
+    get_machine,
+)
+from repro.perf.opcounts import KernelTally, OpRecorder
+
+__all__ = [
+    "CostModel",
+    "EAGLE_CPU",
+    "EAGLE_CPU_GRP",
+    "EAGLE_GPU",
+    "KernelTally",
+    "MACHINES",
+    "MachineSpec",
+    "PhaseAggregate",
+    "OpRecorder",
+    "PhaseTime",
+    "SUMMIT_CPU",
+    "SUMMIT_CPU_GRP",
+    "SUMMIT_GPU",
+    "collect_phase_aggregates",
+    "get_machine",
+]

@@ -1,0 +1,204 @@
+"""Machine specifications for the simulated-hardware substitution.
+
+The paper evaluates on two real systems:
+
+* **Summit** (ORNL): 6 NVIDIA V100 **SXM2** GPUs + 42 Power9 cores per node,
+  NVLink intra-node, EDR InfiniBand + Spectrum MPI.
+* **Eagle** (NREL): 2 NVIDIA V100 **PCIe** GPUs + 36 Xeon Skylake cores per
+  node, EDR InfiniBand + HPE MPT.
+
+We cannot run on them, so each becomes a :class:`MachineSpec` with published
+peak rates plus calibrated *effective* efficiencies for the sparse,
+memory-bound kernels this workload is made of.  The decisive cross-machine
+difference the paper reports (Fig. 11: Eagle with 72 GPUs beating Summit
+with 144, the gains "almost exclusively in the pressure-Poisson AMG setup
+and solve") is carried by the effective per-message cost of the MPI stack,
+which is where we encode the Spectrum-MPI-vs-MPT gap.
+
+Rates are per *device* (one GPU, or one rank's share of a CPU node).  The
+strong-scaling experiments place one simulated rank per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Effective hardware rates for one device class on one system.
+
+    Attributes:
+        name: identifier, e.g. ``"summit-gpu"``.
+        system: host system name (``"summit"`` or ``"eagle"``).
+        arch: ``"gpu"`` or ``"cpu"``.
+        devices_per_node: ranks (devices) per node for node-count reporting.
+        peak_flops: peak double-precision flop rate per device [flop/s].
+        mem_bw: effective streaming memory bandwidth per device [B/s].
+        flop_eff: fraction of ``peak_flops`` sparse kernels achieve.
+        bw_eff: fraction of ``mem_bw`` sparse kernels achieve.
+        launch_overhead: per-kernel-launch overhead [s] (0 for CPU).
+        msg_latency: effective per-message cost seen by a rank [s]; includes
+            MPI software overhead and, on GPUs, device-buffer staging.
+        nic_bw: per-rank network bandwidth [B/s].
+        device_memory: usable device DRAM per rank [B]; exceeding it engages
+            the oversubscription penalty (paper §6 memory cliffs).
+        oversub_penalty: kernel-time multiplier per 1x of memory
+            oversubscription beyond capacity.
+    """
+
+    name: str
+    system: str
+    arch: str
+    devices_per_node: int
+    peak_flops: float
+    mem_bw: float
+    flop_eff: float
+    bw_eff: float
+    launch_overhead: float
+    msg_latency: float
+    nic_bw: float
+    device_memory: float
+    oversub_penalty: float = 4.0
+
+    @property
+    def eff_flops(self) -> float:
+        """Effective flop rate for sparse kernels [flop/s]."""
+        return self.peak_flops * self.flop_eff
+
+    @property
+    def eff_bw(self) -> float:
+        """Effective memory bandwidth for sparse kernels [B/s]."""
+        return self.mem_bw * self.bw_eff
+
+    def with_(self, **kwargs) -> "MachineSpec":
+        """Copy with fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+# V100 SXM2: 7.8 TF DP, 900 GB/s HBM2, 16 GB.  Spectrum MPI with
+# GPU-resident buffers on Summit showed high effective per-message cost in
+# the paper's regime; that is the calibrated 28 us.
+SUMMIT_GPU = MachineSpec(
+    name="summit-gpu",
+    system="summit",
+    arch="gpu",
+    devices_per_node=6,
+    peak_flops=7.8e12,
+    mem_bw=900e9,
+    flop_eff=0.30,
+    bw_eff=0.60,
+    launch_overhead=7e-6,
+    msg_latency=28e-6,
+    nic_bw=2.1e9,
+    device_memory=16e9,
+)
+
+# One Summit CPU rank = one Power9 core's share (42 cores/node, ~1.0 TF DP
+# node peak, ~340 GB/s node STREAM).
+SUMMIT_CPU = MachineSpec(
+    name="summit-cpu",
+    system="summit",
+    arch="cpu",
+    devices_per_node=42,
+    peak_flops=1.0e12 / 42,
+    mem_bw=340e9 / 42,
+    flop_eff=0.50,
+    bw_eff=0.80,
+    launch_overhead=0.0,
+    msg_latency=2.0e-6,
+    nic_bw=12.5e9 / 42,
+    device_memory=512e9 / 42,
+)
+
+# V100 PCIe: 7.0 TF DP, same HBM2.  HPE MPT on Eagle: markedly lower
+# effective per-message cost — the paper's Fig. 11 headline.
+EAGLE_GPU = MachineSpec(
+    name="eagle-gpu",
+    system="eagle",
+    arch="gpu",
+    devices_per_node=2,
+    peak_flops=7.0e12,
+    mem_bw=900e9,
+    flop_eff=0.30,
+    bw_eff=0.60,
+    launch_overhead=7e-6,
+    msg_latency=9e-6,
+    nic_bw=3.0e9,
+    device_memory=16e9,
+)
+
+# One Eagle CPU rank = one Skylake core's share (36 cores, ~2.4 TF node
+# peak, ~230 GB/s node STREAM).
+EAGLE_CPU = MachineSpec(
+    name="eagle-cpu",
+    system="eagle",
+    arch="cpu",
+    devices_per_node=36,
+    peak_flops=2.4e12 / 36,
+    mem_bw=230e9 / 36,
+    flop_eff=0.50,
+    bw_eff=0.80,
+    launch_overhead=0.0,
+    msg_latency=1.5e-6,
+    nic_bw=12.5e9 / 36,
+    device_memory=96e9 / 36,
+)
+
+# Rank-group CPU machines: the scaling harness prices CPU and GPU curves
+# from the *same* simulated run, so a CPU "device" is defined as one
+# GPU-equivalent slice of the node (Summit: 1/6 node = 7 Power9 cores).
+# The paper's CPU runs used 42 MPI ranks/node; this grouping preserves the
+# node-level rates while keeping rank counts comparable across curves
+# (documented in EXPERIMENTS.md).
+SUMMIT_CPU_GRP = MachineSpec(
+    name="summit-cpu-grp",
+    system="summit",
+    arch="cpu",
+    devices_per_node=6,
+    peak_flops=1.0e12 / 6,
+    mem_bw=340e9 / 6,
+    flop_eff=0.50,
+    bw_eff=0.80,
+    launch_overhead=0.0,
+    msg_latency=2.5e-6,
+    nic_bw=12.5e9 / 6,
+    device_memory=512e9 / 6,
+)
+
+EAGLE_CPU_GRP = MachineSpec(
+    name="eagle-cpu-grp",
+    system="eagle",
+    arch="cpu",
+    devices_per_node=2,
+    peak_flops=2.4e12 / 2,
+    mem_bw=230e9 / 2,
+    flop_eff=0.50,
+    bw_eff=0.80,
+    launch_overhead=0.0,
+    msg_latency=2.0e-6,
+    nic_bw=12.5e9 / 2,
+    device_memory=96e9 / 2,
+)
+
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m
+    for m in (
+        SUMMIT_GPU,
+        SUMMIT_CPU,
+        SUMMIT_CPU_GRP,
+        EAGLE_GPU,
+        EAGLE_CPU,
+        EAGLE_CPU_GRP,
+    )
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine spec by name (``summit-gpu``, ``eagle-cpu``, ...)."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,18 @@
+"""Smoothers and relaxation-based preconditioners (paper §4.2)."""
+
+from repro.smoothers.base import BlockSplitting
+from repro.smoothers.chebyshev import ChebyshevSmoother, estimate_dinv_a_eigmax
+from repro.smoothers.gauss_seidel import HybridGS
+from repro.smoothers.jacobi import JacobiSmoother, L1JacobiSmoother
+from repro.smoothers.two_stage_gs import TwoStageGS, make_sgs2
+
+__all__ = [
+    "BlockSplitting",
+    "ChebyshevSmoother",
+    "estimate_dinv_a_eigmax",
+    "HybridGS",
+    "JacobiSmoother",
+    "L1JacobiSmoother",
+    "TwoStageGS",
+    "make_sgs2",
+]

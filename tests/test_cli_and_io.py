@@ -1,0 +1,126 @@
+"""Tests for the CLI (`python -m repro`) and the VTK exporter."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.comm import SimWorld
+from repro.core import CompositeMesh
+from repro.mesh import make_turbine_tiny
+from repro.mesh.vtk_io import write_composite_vtk, write_mesh_vtk, write_vtk
+
+
+@pytest.fixture(scope="module")
+def tiny_comp():
+    return CompositeMesh(SimWorld(2), make_turbine_tiny())
+
+
+class TestVTK:
+    def test_write_basic_grid(self, tmp_path):
+        coords = np.array(
+            [
+                [0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0],
+                [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1],
+            ],
+            dtype=float,
+        )
+        cells = np.arange(8, dtype=np.int64)[None, :]
+        path = write_vtk(
+            str(tmp_path / "box"),
+            coords,
+            cells,
+            {"p": np.arange(8.0), "u": np.ones((8, 3))},
+        )
+        text = open(path).read()
+        assert text.startswith("# vtk DataFile Version 3.0")
+        assert "POINTS 8 double" in text
+        assert "CELLS 1 9" in text
+        assert "CELL_TYPES 1" in text
+        assert "SCALARS p double 1" in text
+        assert "VECTORS u double" in text
+
+    def test_extension_appended(self, tmp_path):
+        coords = np.zeros((8, 3))
+        coords[1:] = np.eye(3).repeat(3, 0)[:7]
+        cells = np.arange(8)[None, :]
+        path = write_vtk(str(tmp_path / "noext"), coords, cells)
+        assert path.endswith(".vtk")
+        assert os.path.exists(path)
+
+    def test_bad_field_shape_rejected(self, tmp_path):
+        coords = np.zeros((8, 3))
+        cells = np.arange(8)[None, :]
+        with pytest.raises(ValueError):
+            write_vtk(
+                str(tmp_path / "bad"), coords, cells, {"f": np.zeros(5)}
+            )
+
+    def test_mesh_export(self, tmp_path, tiny_comp):
+        mesh = tiny_comp.meshes[1]
+        path = write_mesh_vtk(str(tmp_path / "blade"), mesh)
+        text = open(path).read()
+        assert f"POINTS {mesh.n_nodes} double" in text
+        assert f"CELL_TYPES {mesh.cells.shape[0]}" in text
+
+    def test_composite_export_slices_fields(self, tmp_path, tiny_comp):
+        comp = tiny_comp
+        paths = write_composite_vtk(
+            str(tmp_path / "flow"),
+            comp,
+            {"pressure": np.arange(float(comp.n))},
+        )
+        assert len(paths) == len(comp.meshes)
+        for p in paths:
+            assert os.path.exists(p)
+        # Status field always present.
+        assert "overset_status" in open(paths[0]).read()
+
+
+class TestCLI:
+    def test_project_command(self, capsys):
+        assert main(["project"]) == 0
+        out = capsys.readouterr().out
+        assert "full Summit" in out
+        assert "4.06B" in out
+
+    def test_run_command_tiny(self, capsys, tmp_path):
+        rc = main(
+            [
+                "run",
+                "--workload", "turbine_tiny",
+                "--steps", "1",
+                "--ranks", "2",
+                "--vtk", str(tmp_path / "flow"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "NLI time/step" in out
+        assert "mass residual" in out
+        assert os.path.exists(str(tmp_path / "flow_background.vtk"))
+
+    def test_scaling_command(self, capsys):
+        rc = main(
+            [
+                "scaling",
+                "--workload", "turbine_tiny",
+                "--ranks", "2,4",
+                "--steps", "1",
+                "--machines", "summit-gpu,eagle-gpu",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "log-log slopes" in out
+
+    def test_partition_command(self, capsys):
+        rc = main(["partition", "--workload", "turbine_tiny", "--ranks", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RCB" in out and "multilevel" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

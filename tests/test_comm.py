@@ -1,0 +1,191 @@
+"""Tests for the simulated communication substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import SimWorld, build_exchange_pattern
+from repro.comm.exchange import exchange_halo, owner_of
+from repro.comm.traffic import TrafficLog
+
+
+class TestTrafficLog:
+    def test_message_counts_and_bytes(self):
+        log = TrafficLog()
+        log.record_message(0, 1, 100, "a")
+        log.record_message(1, 0, 50, "a")
+        log.record_message(0, 2, 10, "b")
+        assert log.message_count() == 3
+        assert log.message_count("a") == 2
+        assert log.message_bytes("a") == 150
+        assert log.message_bytes() == 160
+
+    def test_max_rank_statistics(self):
+        log = TrafficLog()
+        log.record_message(0, 1, 100, "x")
+        log.record_message(0, 2, 100, "x")
+        log.record_message(1, 0, 500, "x")
+        assert log.max_rank_messages("x") == 2
+        assert log.max_rank_bytes("x") == 500
+
+    def test_collectives(self):
+        log = TrafficLog()
+        log.record_collective("allreduce", 8, 8, "solve")
+        assert log.collective_count("solve") == 1
+        assert log.collective_bytes("solve") == 8
+        assert log.collective_count("other") == 0
+
+    def test_phases_and_clear(self):
+        log = TrafficLog()
+        log.record_message(0, 1, 1, "p1")
+        log.record_collective("barrier", 2, 0, "p2")
+        assert log.phases() == ["p1", "p2"]
+        log.clear()
+        assert log.message_count() == 0
+        assert log.phases() == []
+
+
+class TestSimWorld:
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+    def test_phase_scope_nesting(self):
+        w = SimWorld(2)
+        assert w.phase == "default"
+        with w.phase_scope("outer"):
+            assert w.phase == "outer"
+            with w.phase_scope("inner"):
+                assert w.phase == "inner"
+            assert w.phase == "outer"
+        assert w.phase == "default"
+
+    def test_send_recv_roundtrip(self):
+        w = SimWorld(2)
+        c0, c1 = w.comms()
+        payload = np.arange(5.0)
+        c0.send(1, payload)
+        got = c1.recv(0)
+        assert np.array_equal(got, payload)
+        assert w.traffic.message_count() == 1
+        assert w.traffic.message_bytes() == payload.nbytes
+
+    def test_send_to_self_rejected(self):
+        w = SimWorld(2)
+        with pytest.raises(ValueError):
+            w.comm(0).send(0, np.zeros(1))
+
+    def test_recv_without_send_raises(self):
+        w = SimWorld(2)
+        with pytest.raises(RuntimeError):
+            w.comm(1).recv(0)
+
+    def test_fifo_message_order(self):
+        w = SimWorld(2)
+        w.comm(0).send(1, 1)
+        w.comm(0).send(1, 2)
+        assert w.comm(1).recv(0) == 1
+        assert w.comm(1).recv(0) == 2
+
+    def test_alltoallv_delivery(self):
+        w = SimWorld(3)
+        send = [[None] * 3 for _ in range(3)]
+        send[0][1] = np.array([1.0])
+        send[0][2] = np.array([2.0])
+        send[2][0] = np.array([3.0])
+        recv = w.alltoallv(send)
+        assert recv[1][0][0] == 1.0
+        assert recv[2][0][0] == 2.0
+        assert recv[0][0][0] == 3.0
+        assert w.traffic.message_count() == 3
+
+    def test_alltoallv_skips_empty_arrays(self):
+        w = SimWorld(2)
+        send = [[None, np.zeros(0)], [None, None]]
+        recv = w.alltoallv(send)
+        assert recv == [[], []]
+        assert w.traffic.message_count() == 0
+
+    def test_allreduce_and_allgather(self):
+        w = SimWorld(4)
+        total = w.allreduce([1.0, 2.0, 3.0, 4.0])
+        assert total == 10.0
+        gathered = w.allgather([10, 20, 30, 40])
+        assert gathered == [10, 20, 30, 40]
+        assert w.traffic.collective_count() == 2
+
+    def test_pending_messages(self):
+        w = SimWorld(2)
+        assert w.pending_messages() == 0
+        w.comm(0).send(1, 5)
+        assert w.pending_messages() == 1
+        w.comm(1).recv(0)
+        assert w.pending_messages() == 0
+
+
+class TestExchangePattern:
+    def test_owner_of(self):
+        offs = np.array([0, 3, 6, 10])
+        assert list(owner_of(np.array([0, 2, 3, 5, 6, 9]), offs)) == [
+            0,
+            0,
+            1,
+            1,
+            2,
+            2,
+        ]
+
+    def test_basic_pattern_and_halo(self):
+        offs = np.array([0, 3, 6])
+        pat = build_exchange_pattern(
+            offs, [np.array([4]), np.array([0, 2])]
+        )
+        assert pat.per_rank[0].n_ext == 1
+        assert pat.per_rank[1].n_ext == 2
+        assert pat.total_messages() == 2
+        w = SimWorld(2)
+        ext = exchange_halo(
+            w, pat, [np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0])]
+        )
+        assert ext[0].tolist() == [5.0]
+        assert ext[1].tolist() == [1.0, 3.0]
+
+    def test_unsorted_ext_ids_rejected(self):
+        offs = np.array([0, 3, 6])
+        with pytest.raises(ValueError):
+            build_exchange_pattern(offs, [np.array([5, 4]), np.array([])])
+
+    def test_owned_ids_in_ext_rejected(self):
+        offs = np.array([0, 3, 6])
+        with pytest.raises(ValueError):
+            build_exchange_pattern(offs, [np.array([1]), np.array([])])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nranks=st.integers(2, 5),
+        per_rank=st.integers(2, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_halo_exchange_matches_global_gather(
+        self, nranks, per_rank, seed
+    ):
+        """Property: exchanged external values equal the owners' values."""
+        rng = np.random.default_rng(seed)
+        n = nranks * per_rank
+        offs = np.arange(nranks + 1) * per_rank
+        x = rng.standard_normal(n)
+        ext_ids = []
+        for r in range(nranks):
+            owned = np.arange(offs[r], offs[r + 1])
+            others = np.setdiff1d(np.arange(n), owned)
+            take = rng.choice(
+                others, size=min(3, others.size), replace=False
+            )
+            ext_ids.append(np.unique(take))
+        pat = build_exchange_pattern(offs, ext_ids)
+        w = SimWorld(nranks)
+        owned = [x[offs[r] : offs[r + 1]] for r in range(nranks)]
+        ext = exchange_halo(w, pat, owned)
+        for r in range(nranks):
+            assert np.allclose(ext[r], x[ext_ids[r]])

@@ -1,0 +1,198 @@
+"""Tests for ParCSR matrices, ParVectors, and SpGEMM accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.comm import SimWorld
+from repro.linalg import (
+    ParCSRMatrix,
+    ParVector,
+    galerkin_product,
+    spgemm,
+    spgemm_products,
+    spmv_bytes,
+)
+
+
+def random_system(n=120, nranks=4, density=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    A = sparse.random(n, n, density=density, random_state=seed, format="csr")
+    A = A + sparse.eye(n)
+    w = SimWorld(nranks)
+    offs = np.linspace(0, n, nranks + 1).astype(np.int64)
+    return w, ParCSRMatrix(w, A.tocsr(), offs), rng
+
+
+class TestParVector:
+    def test_local_views_are_zero_copy(self):
+        w = SimWorld(3)
+        offs = np.array([0, 2, 4, 6])
+        v = ParVector(w, offs, np.arange(6.0))
+        v.local(1)[0] = 99.0
+        assert v.data[2] == 99.0
+
+    def test_dot_matches_numpy_and_records_allreduce(self):
+        w = SimWorld(4)
+        offs = np.array([0, 3, 6, 9, 12])
+        rng = np.random.default_rng(0)
+        x = ParVector(w, offs, rng.standard_normal(12))
+        y = ParVector(w, offs, rng.standard_normal(12))
+        before = w.traffic.collective_count()
+        d = x.dot(y)
+        assert d == pytest.approx(x.data @ y.data)
+        assert w.traffic.collective_count() == before + 1
+
+    def test_norm(self):
+        w = SimWorld(2)
+        v = ParVector(w, np.array([0, 2, 4]), np.array([3.0, 0, 0, 4.0]))
+        assert v.norm() == pytest.approx(5.0)
+
+    def test_axpy_and_scale_inplace(self):
+        w = SimWorld(2)
+        offs = np.array([0, 2, 4])
+        x = ParVector(w, offs, np.ones(4))
+        y = ParVector(w, offs, np.full(4, 2.0))
+        x.axpy(3.0, y)
+        assert np.allclose(x.data, 7.0)
+        x.scale(0.5)
+        assert np.allclose(x.data, 3.5)
+
+    def test_shape_mismatch_rejected(self):
+        w = SimWorld(2)
+        with pytest.raises(ValueError):
+            ParVector(w, np.array([0, 2, 4]), np.zeros(3))
+
+
+class TestParCSR:
+    def test_matvec_matches_global(self):
+        w, M, rng = random_system()
+        x = M.new_vector(rng.standard_normal(M.shape[1]))
+        y = M.matvec(x)
+        assert np.allclose(y.data, M.A @ x.data)
+
+    def test_residual(self):
+        w, M, rng = random_system(seed=3)
+        x = M.new_vector(rng.standard_normal(M.shape[0]))
+        b = M.new_vector(rng.standard_normal(M.shape[0]))
+        r = M.residual(b, x)
+        assert np.allclose(r.data, b.data - M.A @ x.data)
+
+    def test_diag_offd_partition_of_nnz(self):
+        _w, M, _ = random_system()
+        total = sum(b.diag.nnz + b.offd.nnz for b in M.blocks)
+        assert total == M.nnz
+
+    def test_col_map_offd_sorted_unique_external(self):
+        _w, M, _ = random_system()
+        for r, b in enumerate(M.blocks):
+            cm = b.col_map_offd
+            if cm.size:
+                assert np.all(np.diff(cm) > 0)
+                lo, hi = M.col_offsets[r], M.col_offsets[r + 1]
+                assert np.all((cm < lo) | (cm >= hi))
+
+    def test_offd_fraction_grows_with_ranks(self):
+        n = 240
+        A = sparse.random(n, n, density=0.03, random_state=1, format="csr") + sparse.eye(n)
+        fr = []
+        for nranks in (2, 8):
+            w = SimWorld(nranks)
+            offs = np.linspace(0, n, nranks + 1).astype(np.int64)
+            fr.append(ParCSRMatrix(w, A.tocsr(), offs).offd_fraction())
+        assert fr[1] > fr[0]
+
+    def test_block_diagonal_keeps_only_within_rank(self):
+        _w, M, _ = random_system()
+        bd = M.block_diagonal()
+        coo = bd.tocoo()
+        ro = M.row_offsets
+        rowner = np.searchsorted(ro, coo.row, side="right") - 1
+        cowner = np.searchsorted(ro, coo.col, side="right") - 1
+        assert np.all(rowner == cowner)
+
+    def test_matvec_records_traffic_and_ops(self):
+        w, M, rng = random_system()
+        x = M.new_vector(rng.standard_normal(M.shape[1]))
+        with w.phase_scope("spmv_test"):
+            M.matvec(x)
+        assert w.traffic.message_count("spmv_test") > 0
+        assert w.ops.total("spmv_test").flops == pytest.approx(2.0 * M.nnz)
+
+    def test_single_rank_no_messages(self):
+        n = 50
+        A = sparse.random(n, n, density=0.1, random_state=0, format="csr") + sparse.eye(n)
+        w = SimWorld(1)
+        M = ParCSRMatrix(w, A.tocsr(), np.array([0, n]))
+        x = M.new_vector(np.ones(n))
+        M.matvec(x)
+        assert w.traffic.message_count() == 0
+
+    def test_rectangular_matrix(self):
+        w = SimWorld(2)
+        P = sparse.random(10, 4, density=0.5, random_state=0, format="csr")
+        M = ParCSRMatrix(
+            w, P, row_offsets=np.array([0, 5, 10]), col_offsets=np.array([0, 2, 4])
+        )
+        x = ParVector(w, np.array([0, 2, 4]), np.arange(4.0))
+        y = M.matvec(x)
+        assert np.allclose(y.data, P @ x.data)
+
+    def test_bad_offsets_rejected(self):
+        w = SimWorld(2)
+        A = sparse.eye(10).tocsr()
+        with pytest.raises(ValueError):
+            ParCSRMatrix(w, A, np.array([0, 5, 9]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(8, 80),
+        nranks=st.integers(1, 6),
+        seed=st.integers(0, 500),
+    )
+    def test_property_spmv_matches_global(self, n, nranks, seed):
+        rng = np.random.default_rng(seed)
+        A = sparse.random(
+            n, n, density=0.15, random_state=seed, format="csr"
+        ) + sparse.eye(n)
+        w = SimWorld(nranks)
+        # Random (possibly uneven) contiguous partition.
+        cuts = np.sort(rng.integers(0, n + 1, nranks - 1)) if nranks > 1 else np.array([], dtype=int)
+        offs = np.concatenate([[0], cuts, [n]]).astype(np.int64)
+        M = ParCSRMatrix(w, A.tocsr(), offs)
+        x = M.new_vector(rng.standard_normal(n))
+        y = M.matvec(x)
+        assert np.allclose(y.data, A @ x.data, atol=1e-10)
+
+
+class TestSpGEMM:
+    def test_products_count(self):
+        A = sparse.csr_matrix(np.array([[1.0, 1.0], [0.0, 1.0]]))
+        B = sparse.csr_matrix(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        # Row 0 of A hits B-rows 0 (1 nnz) and 1 (2 nnz); row 1 hits row 1.
+        assert spgemm_products(A, B) == 1 + 2 + 2
+
+    def test_spgemm_matches_scipy_and_records(self):
+        w = SimWorld(2)
+        A = sparse.random(30, 30, density=0.2, random_state=0, format="csr")
+        B = sparse.random(30, 30, density=0.2, random_state=1, format="csr")
+        offs = np.array([0, 15, 30])
+        with w.phase_scope("gemm"):
+            C = spgemm(w, A, B, offs)
+        assert np.allclose(C.toarray(), (A @ B).toarray())
+        assert w.ops.total("gemm").flops > 0
+
+    def test_galerkin_product_is_rap(self):
+        w = SimWorld(2)
+        A = sparse.random(40, 40, density=0.15, random_state=0, format="csr")
+        P = sparse.random(40, 10, density=0.3, random_state=1, format="csr")
+        R = sparse.csr_matrix(P.T)
+        Ac = galerkin_product(
+            w, R, A, P, np.array([0, 20, 40]), np.array([0, 5, 10])
+        )
+        assert np.allclose(Ac.toarray(), (P.T @ A @ P).toarray())
+
+    def test_spmv_bytes_model(self):
+        assert spmv_bytes(100, 10) == 12 * 100 + 8 * 100 + 12 * 10

@@ -1,0 +1,149 @@
+"""Additional coverage: cycle options, pattern stats, metric geometry."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.amg import AMGCycleOptions, AMGHierarchy, AMGPreconditioner
+from repro.assembly import EquationGraph, GraphSpec
+from repro.comm import SimWorld, build_exchange_pattern
+from repro.krylov import GMRES
+from repro.linalg import ParCSRMatrix
+from repro.mesh import HexMesh
+from repro.partition import build_numbering
+from repro.perf import CostModel, SUMMIT_GPU
+
+
+def poisson2d(nx):
+    T = sparse.diags([-1.0, 2.0, -1.0], [-1, 0, 1], (nx, nx))
+    return (
+        sparse.kron(sparse.eye(nx), T) + sparse.kron(T, sparse.eye(nx))
+    ).tocsr()
+
+
+class TestCycleOptions:
+    def test_more_smoothing_fewer_outer_iterations(self):
+        A = poisson2d(16)
+        n = A.shape[0]
+        iters = {}
+        for sweeps in (1, 3):
+            w = SimWorld(2)
+            M = ParCSRMatrix(w, A, np.array([0, n // 2, n]))
+            h = AMGHierarchy(M)
+            pc = AMGPreconditioner(
+                h, AMGCycleOptions(pre_sweeps=sweeps, post_sweeps=sweeps)
+            )
+            b = M.new_vector(np.ones(n))
+            res = GMRES(M, preconditioner=pc, tol=1e-8).solve(b)
+            iters[sweeps] = res.iterations
+        assert iters[3] <= iters[1]
+
+    def test_zero_presmoothing_still_converges(self):
+        A = poisson2d(12)
+        n = A.shape[0]
+        w = SimWorld(2)
+        M = ParCSRMatrix(w, A, np.array([0, n // 2, n]))
+        pc = AMGPreconditioner(
+            AMGHierarchy(M), AMGCycleOptions(pre_sweeps=0, post_sweeps=1)
+        )
+        b = M.new_vector(np.ones(n))
+        res = GMRES(M, preconditioner=pc, tol=1e-8, max_iters=100).solve(b)
+        assert res.converged
+
+
+class TestGraphAccounting:
+    def test_group_sizes_partition_nnz_total(self):
+        rng = np.random.default_rng(3)
+        n, E = 50, 140
+        edges = rng.integers(0, n, size=(E, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        parts = rng.integers(0, 4, n)
+        num = build_numbering(parts, 4)
+        w = SimWorld(4)
+        g = EquationGraph(
+            w,
+            num,
+            GraphSpec(
+                n=n,
+                edges=edges,
+                constraint_rows=np.array([0, 1], dtype=np.int64),
+            ),
+        )
+        total = sum(
+            g.groups[r][k].size for r in range(4) for k in (0, 1)
+        )
+        assert total == g.nnz_total
+
+    def test_contrib_per_rank_counts_everything(self):
+        rng = np.random.default_rng(4)
+        n, E = 30, 60
+        edges = rng.integers(0, n, size=(E, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        parts = rng.integers(0, 3, n)
+        num = build_numbering(parts, 3)
+        w = SimWorld(3)
+        g = EquationGraph(
+            w,
+            num,
+            GraphSpec(
+                n=n,
+                edges=edges,
+                constraint_rows=np.zeros(0, dtype=np.int64),
+            ),
+        )
+        # 4 entries per edge + one diagonal per row.
+        assert g.contrib_per_rank.sum() == 4 * edges.shape[0] + n
+
+
+class TestPatternStats:
+    def test_total_messages_and_halo(self):
+        offs = np.array([0, 3, 6, 9])
+        pat = build_exchange_pattern(
+            offs,
+            [np.array([4, 7]), np.array([0]), np.array([1, 4])],
+        )
+        assert pat.total_halo_entries() == 5
+        # rank0 -> {1,2}? rank0 needs 4 (rank1) and 7 (rank2): rank1 and
+        # rank2 each send once to rank0; rank1 needs 0 -> rank0 sends once;
+        # rank2 needs 1 (rank0) and 4 (rank1).
+        assert pat.total_messages() == 5
+        assert pat.nranks == 3
+
+
+class TestCostModelScaling:
+    def test_surface_scale_two_thirds_power(self):
+        cm = CostModel(SUMMIT_GPU, work_scale=1000.0)
+        assert cm.surface_scale == pytest.approx(100.0)
+
+    def test_p2p_scaling_uses_surface(self):
+        cm1 = CostModel(SUMMIT_GPU, work_scale=1.0)
+        cm8 = CostModel(SUMMIT_GPU, work_scale=8.0)
+        t1 = cm1.p2p_time(0, 1e6)
+        t8 = cm8.p2p_time(0, 1e6)
+        assert t8 == pytest.approx(4.0 * t1)
+
+
+class TestPeriodicMeshGeometry:
+    def test_annulus_volume(self):
+        """Periodic O-grid dual volumes sum to the analytic ring volume."""
+        nu, nr, nz = 48, 12, 6
+        u = np.linspace(0, 2 * np.pi, nu, endpoint=False)
+        r = np.linspace(1.0, 2.0, nr)
+        z = np.linspace(0.0, 1.0, nz)
+        U, R, Z = np.meshgrid(u, r, z, indexing="ij")
+        X = np.stack([R * np.cos(U), R * np.sin(U), Z], axis=-1)
+        m = HexMesh.from_block("ring", X, periodic=(True, False, False))
+        exact = np.pi * (4.0 - 1.0) * 1.0
+        # Second-order chord-vs-arc discretization error of the circle.
+        assert m.node_volume.sum() == pytest.approx(exact, rel=1e-2)
+
+    def test_periodic_edge_count_wraps(self):
+        nu, nr, nz = 8, 3, 3
+        u = np.linspace(0, 2 * np.pi, nu, endpoint=False)
+        r = np.linspace(1.0, 2.0, nr)
+        z = np.linspace(0.0, 1.0, nz)
+        U, R, Z = np.meshgrid(u, r, z, indexing="ij")
+        X = np.stack([R * np.cos(U), R * np.sin(U), Z], axis=-1)
+        m = HexMesh.from_block("ring", X, periodic=(True, False, False))
+        expected = nu * nr * nz + nu * (nr - 1) * nz + nu * nr * (nz - 1)
+        assert m.edges.shape[0] == expected

@@ -1,0 +1,187 @@
+"""Tests for overset assembly: trilinear maps, holes, fringes, donors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import BladeSpec, make_blade_mesh, make_turbine_dual, make_turbine_low
+from repro.overset import (
+    NodeStatus,
+    OversetAssembler,
+    contains,
+    invert_map,
+    shape_functions,
+    shape_gradients,
+)
+
+
+def linear_field(x):
+    return 1.0 + 2.0 * x[:, 0] - 3.0 * x[:, 1] + 0.5 * x[:, 2]
+
+
+class TestTrilinear:
+    def test_partition_of_unity(self):
+        rng = np.random.default_rng(0)
+        xi = rng.uniform(-1, 1, (50, 3))
+        N = shape_functions(xi)
+        assert np.allclose(N.sum(axis=1), 1.0)
+
+    def test_corner_values(self):
+        from repro.overset.trilinear import _CORNERS
+
+        N = shape_functions(_CORNERS)
+        assert np.allclose(N, np.eye(8), atol=1e-14)
+
+    def test_gradient_consistency(self):
+        rng = np.random.default_rng(1)
+        xi = rng.uniform(-0.9, 0.9, (5, 3))
+        G = shape_gradients(xi)
+        eps = 1e-6
+        for d in range(3):
+            xp = xi.copy()
+            xp[:, d] += eps
+            xm = xi.copy()
+            xm[:, d] -= eps
+            fd = (shape_functions(xp) - shape_functions(xm)) / (2 * eps)
+            assert np.allclose(G[:, :, d], fd, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_invert_map_recovers_reference_coords(self, seed):
+        rng = np.random.default_rng(seed)
+        # Random mildly distorted hex.
+        base = np.array(
+            [
+                [0, 0, 0],
+                [1, 0, 0],
+                [1, 1, 0],
+                [0, 1, 0],
+                [0, 0, 1],
+                [1, 0, 1],
+                [1, 1, 1],
+                [0, 1, 1],
+            ],
+            dtype=float,
+        )
+        corners = base + 0.15 * rng.uniform(-1, 1, (8, 3))
+        xi_true = rng.uniform(-0.95, 0.95, (1, 3))
+        pt = shape_functions(xi_true) @ corners
+        xi, ok = invert_map(corners[None, :, :], pt)
+        assert ok[0]
+        assert np.allclose(xi[0], xi_true[0], atol=1e-8)
+        assert contains(xi)[0]
+
+    def test_contains_boundary_tolerance(self):
+        xi = np.array([[1.0 + 1e-8, 0.0, 0.0], [1.5, 0.0, 0.0]])
+        inside = contains(xi, tol=1e-6)
+        assert inside[0] and not inside[1]
+
+    def test_empty_batch(self):
+        xi, ok = invert_map(np.zeros((0, 8, 3)), np.zeros((0, 3)))
+        assert xi.shape == (0, 3)
+        assert ok.shape == (0,)
+
+
+@pytest.fixture(scope="module")
+def low_system():
+    s = make_turbine_low()
+    conn = OversetAssembler(s.meshes).assemble()
+    return s, conn
+
+
+@pytest.fixture(scope="module")
+def dual_system():
+    s = make_turbine_dual()
+    conn = OversetAssembler(s.meshes).assemble()
+    return s, conn
+
+
+class TestOversetAssembly:
+    def test_every_blade_rim_is_fringe(self, low_system):
+        s, conn = low_system
+        for k, mesh in enumerate(s.meshes[1:], start=1):
+            outer = mesh.boundaries["outer"]
+            wall = mesh.boundaries["wall"]
+            rim = np.setdiff1d(outer, wall)
+            assert np.all(conn.statuses[k][rim] == NodeStatus.FRINGE)
+
+    def test_wall_nodes_are_not_fringe(self, low_system):
+        s, conn = low_system
+        for k, mesh in enumerate(s.meshes[1:], start=1):
+            wall = mesh.boundaries["wall"]
+            assert not np.any(conn.statuses[k][wall] == NodeStatus.FRINGE)
+
+    def test_donor_weights_sum_to_one(self, low_system):
+        _s, conn = low_system
+        for ds in conn.donor_sets:
+            assert np.allclose(ds.weights.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_linear_field_reproduced_exactly(self, low_system):
+        s, conn = low_system
+        for ds in conn.donor_sets:
+            donor_vals = linear_field(s.meshes[ds.donor_mesh].coords)
+            got = ds.interpolate(donor_vals)
+            want = linear_field(
+                s.meshes[ds.receptor_mesh].coords[ds.receptors]
+            )
+            assert np.allclose(got, want, atol=1e-6)
+
+    def test_vector_field_interpolation(self, low_system):
+        s, conn = low_system
+        ds = conn.donor_sets[0]
+        field = s.meshes[ds.donor_mesh].coords.copy()  # identity field
+        got = ds.interpolate(field)
+        want = s.meshes[ds.receptor_mesh].coords[ds.receptors]
+        assert np.allclose(got, want, atol=1e-6)
+
+    def test_dual_system_cuts_holes(self, dual_system):
+        _s, conn = dual_system
+        holes = conn.hole_nodes(0)
+        assert holes.size > 0
+
+    def test_hole_neighbors_never_field(self, dual_system):
+        s, conn = dual_system
+        g = s.background.node_graph().tocoo()
+        st_ = conn.statuses[0]
+        bad = (st_[g.row] == NodeStatus.HOLE) & (
+            st_[g.col] == NodeStatus.FIELD
+        )
+        assert not np.any(bad)
+
+    def test_background_fringe_has_nearbody_donors(self, dual_system):
+        _s, conn = dual_system
+        bg_fringe = conn.fringe_nodes(0)
+        covered = np.concatenate(
+            [
+                ds.receptors
+                for ds in conn.donor_sets
+                if ds.receptor_mesh == 0
+            ]
+        ) if any(d.receptor_mesh == 0 for d in conn.donor_sets) else np.array([])
+        assert np.array_equal(np.sort(covered), np.sort(bg_fringe))
+
+    def test_statuses_cover_all_meshes(self, low_system):
+        s, conn = low_system
+        assert len(conn.statuses) == len(s.meshes)
+        for st_, m in zip(conn.statuses, s.meshes):
+            assert st_.shape == (m.n_nodes,)
+
+    def test_connectivity_updates_after_rotation(self):
+        s = make_turbine_dual()
+        asm = OversetAssembler(s.meshes)
+        conn0 = asm.assemble()
+        h0 = conn0.hole_nodes(0)
+        s.advance_rotor(0.8)  # large rotation
+        conn1 = asm.assemble()
+        h1 = conn1.hole_nodes(0)
+        # Hole set changes as the rotor sweeps (not necessarily count).
+        assert h1.size > 0
+        # Donors remain linear-exact after motion.
+        for ds in conn1.donor_sets:
+            donor_vals = linear_field(s.meshes[ds.donor_mesh].coords)
+            got = ds.interpolate(donor_vals)
+            want = linear_field(
+                s.meshes[ds.receptor_mesh].coords[ds.receptors]
+            )
+            assert np.allclose(got, want, atol=1e-5)

@@ -1,0 +1,71 @@
+"""Tests for chart rendering and hierarchy diagnostics."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.amg import AMGHierarchy
+from repro.comm import SimWorld
+from repro.harness import loglog_chart
+from repro.harness.scaling import NLISeries
+from repro.linalg import ParCSRMatrix
+from repro.perf import SUMMIT_GPU
+
+
+def series(label, nodes, mean):
+    return NLISeries(
+        label=label,
+        machine=SUMMIT_GPU,
+        nodes=nodes,
+        ranks=[int(6 * n) for n in nodes],
+        mean=mean,
+        std=[0.0] * len(nodes),
+    )
+
+
+class TestLogLogChart:
+    def test_contains_markers_and_legend(self):
+        s1 = series("gpu", [1.0, 2.0, 4.0], [8.0, 5.0, 3.0])
+        s2 = series("cpu", [1.0, 2.0, 4.0], [50.0, 26.0, 14.0])
+        out = loglog_chart("t", [s1, s2], width=30, height=8)
+        assert "o = gpu" in out and "* = cpu" in out
+        assert out.count("o") >= 3
+        assert "[nodes]" in out
+
+    def test_monotone_series_renders_monotone(self):
+        s = series("gpu", [1.0, 10.0], [10.0, 1.0])
+        out = loglog_chart("t", [s], width=20, height=6)
+        lines = [l for l in out.splitlines() if l.startswith(" " * 10 + "|")]
+        # First marker row (top) is the slow point at small node count:
+        # its 'o' sits left; the bottom row's 'o' sits right.
+        tops = [l for l in lines if "o" in l]
+        assert tops[0].index("o") < tops[-1].index("o")
+
+    def test_empty_series_handled(self):
+        s = series("gpu", [], [])
+        out = loglog_chart("t", [s])
+        assert "(no data)" in out
+
+    def test_slope_of_ideal_scaling(self):
+        s = series("x", [1.0, 2.0, 4.0, 8.0], [8.0, 4.0, 2.0, 1.0])
+        assert s.slope() == pytest.approx(-1.0)
+
+
+class TestLevelTable:
+    def test_table_lists_all_levels(self):
+        nx = 20
+        T = sparse.diags([-1.0, 2.0, -1.0], [-1, 0, 1], (nx, nx))
+        A = (
+            sparse.kron(sparse.eye(nx), T) + sparse.kron(T, sparse.eye(nx))
+        ).tocsr()
+        w = SimWorld(2)
+        M = ParCSRMatrix(w, A, np.array([0, 200, 400]))
+        h = AMGHierarchy(M)
+        table = h.level_table()
+        assert "operator complexity" in table
+        # One data row per level.
+        data_rows = [
+            l for l in table.splitlines() if l[:3].strip().isdigit()
+        ]
+        assert len(data_rows) == h.num_levels
+        assert "400" in data_rows[0]
