@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Diff two exported RunTelemetry JSON files; fail on drift.
+
+Tier-2 perf gate: compare a current run's telemetry against a committed
+baseline and exit non-zero when per-phase wall time or per-equation mean
+iteration counts drift beyond tolerance.  Works on the artifacts
+``benchmarks/conftest.py`` / ``python -m repro trace --output`` write.
+
+Usage::
+
+    python benchmarks/check_telemetry_regression.py baseline.json current.json \
+        [--phase-tol 0.5] [--iters-tol 0.1] [--min-phase-seconds 0.005]
+
+Pure-stdlib on purpose (no ``repro`` import) so CI can run it without
+installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "repro.telemetry/1"
+
+
+def load(path: str) -> dict:
+    """Load one telemetry document, validating the schema tag."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"{path}: schema {doc.get('schema')!r} != expected {SCHEMA!r}"
+        )
+    return doc
+
+
+def rel_drift(base: float, cur: float) -> float:
+    """Relative change |cur - base| / base (inf when base == 0 != cur)."""
+    if base == 0.0:
+        return 0.0 if cur == 0.0 else float("inf")
+    return abs(cur - base) / base
+
+
+def mean(xs: list) -> float:
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def compare(
+    base: dict,
+    cur: dict,
+    phase_tol: float,
+    iters_tol: float,
+    min_phase_seconds: float,
+) -> list[str]:
+    """Return a list of failure strings (empty = pass)."""
+    failures: list[str] = []
+
+    # Per-phase wall time.  Tiny phases are pure noise on wall clocks, so
+    # only phases above `min_phase_seconds` in the baseline gate.
+    bp, cp = base.get("phases", {}), cur.get("phases", {})
+    for name in sorted(set(bp) | set(cp)):
+        b = bp.get(name, {}).get("total_s", 0.0)
+        c = cp.get(name, {}).get("total_s", 0.0)
+        if name not in bp or name not in cp:
+            failures.append(
+                f"phase {name!r} only in "
+                f"{'current' if name not in bp else 'baseline'}"
+            )
+            continue
+        if b < min_phase_seconds:
+            continue
+        d = rel_drift(b, c)
+        if d > phase_tol:
+            failures.append(
+                f"phase {name!r} wall time drift {d * 100:.1f}% "
+                f"({b:.4f}s -> {c:.4f}s) exceeds {phase_tol * 100:.0f}%"
+            )
+
+    # Per-equation mean iterations — deterministic in the simulator, so a
+    # tight tolerance catches convergence regressions exactly.
+    bs, cs = base.get("solves", {}), cur.get("solves", {})
+    for eq in sorted(set(bs) | set(cs)):
+        if eq not in bs or eq not in cs:
+            failures.append(
+                f"equation {eq!r} only in "
+                f"{'current' if eq not in bs else 'baseline'}"
+            )
+            continue
+        b = mean(bs[eq].get("iterations", []))
+        c = mean(cs[eq].get("iterations", []))
+        d = rel_drift(b, c)
+        if d > iters_tol:
+            failures.append(
+                f"{eq} mean iterations drift {d * 100:.1f}% "
+                f"({b:.2f} -> {c:.2f}) exceeds {iters_tol * 100:.0f}%"
+            )
+
+    # AMG hierarchy quality: complexity blow-ups are setup-cost regressions.
+    ba, ca = base.get("amg_setups", []), cur.get("amg_setups", [])
+    if ba and ca:
+        for key in ("operator_complexity", "grid_complexity"):
+            b, c = ba[-1][key], ca[-1][key]
+            d = rel_drift(b, c)
+            if d > iters_tol:
+                failures.append(
+                    f"amg {key} drift {d * 100:.1f}% "
+                    f"({b:.3f} -> {c:.3f}) exceeds {iters_tol * 100:.0f}%"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns 0 on pass, 1 on drift."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline RunTelemetry JSON")
+    ap.add_argument("current", help="current RunTelemetry JSON")
+    ap.add_argument(
+        "--phase-tol", type=float, default=0.5,
+        help="max relative per-phase wall-time drift (default 0.5 = 50%%; "
+        "wall clocks on shared CI hosts are noisy)",
+    )
+    ap.add_argument(
+        "--iters-tol", type=float, default=0.1,
+        help="max relative mean-iteration / AMG-complexity drift "
+        "(default 0.1 = 10%%)",
+    )
+    ap.add_argument(
+        "--min-phase-seconds", type=float, default=0.005,
+        help="ignore phases below this baseline wall time (default 5 ms)",
+    )
+    args = ap.parse_args(argv)
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    for key in ("workload", "nranks", "n_steps"):
+        if base.get(key) != cur.get(key):
+            print(
+                f"warning: {key} differs ({base.get(key)} vs "
+                f"{cur.get(key)}); comparison may be meaningless",
+                file=sys.stderr,
+            )
+
+    failures = compare(
+        base, cur, args.phase_tol, args.iters_tol, args.min_phase_seconds
+    )
+    if failures:
+        print(f"TELEMETRY REGRESSION ({len(failures)} failures):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(
+        f"telemetry OK: {base.get('workload')} "
+        f"({base.get('nranks')} ranks, {base.get('n_steps')} steps) "
+        f"within phase-tol {args.phase_tol:.0%}, iters-tol "
+        f"{args.iters_tol:.0%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

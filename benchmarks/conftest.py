@@ -18,7 +18,7 @@ import pytest
 
 from repro.core.config import SimulationConfig
 from repro.core.simulation import NaluWindSimulation
-from repro.harness import run_strong_scaling
+from repro.harness import emit_telemetry, run_strong_scaling
 from repro.mesh import make_turbine_low
 
 
@@ -59,12 +59,25 @@ def baseline_config() -> SimulationConfig:
     )
 
 
+def export_sweep_telemetry(points, name: str) -> None:
+    """Persist each point's RunTelemetry under ``benchmarks/results/``.
+
+    The JSON artifacts are the baseline/current inputs of
+    ``benchmarks/check_telemetry_regression.py`` (tier-2 perf gate).
+    """
+    for pt in points:
+        if pt.report.telemetry is not None:
+            emit_telemetry(f"telemetry_{name}_r{pt.ranks}", pt.report.telemetry)
+
+
 @pytest.fixture(scope="session")
 def fig3_sweep():
     """turbine_low strong-scaling sweep, optimized configuration."""
-    return run_strong_scaling(
+    points = run_strong_scaling(
         "turbine_low", LOW_RANKS, n_steps=BENCH_STEPS, config=optimized_config()
     )
+    export_sweep_telemetry(points, "fig3")
+    return points
 
 
 @pytest.fixture(scope="session")
@@ -99,6 +112,17 @@ def fig9_sweep():
         sim = NaluWindSimulation(make_turbine_refined(refine=REFINE), cfg)
         points.append(ScalingPoint(ranks=r, report=sim.run(max(1, BENCH_STEPS // 2))))
     return points
+
+
+@pytest.fixture(scope="session")
+def tiny_telemetry():
+    """RunTelemetry of a one-step turbine_tiny run (telemetry benches)."""
+    cfg = optimized_config()
+    cfg.nranks = 2
+    sim = NaluWindSimulation("turbine_tiny", cfg)
+    report = sim.run(1)
+    emit_telemetry("telemetry_tiny", report.telemetry)
+    return report.telemetry
 
 
 @pytest.fixture(scope="session")

@@ -11,15 +11,21 @@ Public entry points:
   coarsening) and V-cycle.
 * :mod:`repro.smoothers` — two-stage Gauss-Seidel / SGS2.
 * :mod:`repro.perf` — the Summit/Eagle machine models and cost pricing.
+* :mod:`repro.obs` — the unified telemetry layer (spans, metrics, run
+  reports; ``python -m repro trace``).
 """
 
 from repro.core import NaluWindSimulation, SimulationConfig, SimulationReport
+from repro.obs import MetricsRegistry, RunTelemetry, Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "MetricsRegistry",
     "NaluWindSimulation",
+    "RunTelemetry",
     "SimulationConfig",
     "SimulationReport",
+    "Tracer",
     "__version__",
 ]

@@ -4,6 +4,9 @@ Commands:
 
 * ``run`` — run a simulation workload and report solver statistics (and
   optionally export VTK flow fields).
+* ``trace`` — run a workload and emit the machine-readable
+  :class:`~repro.obs.telemetry.RunTelemetry` JSON document (or the
+  human-readable span-tree / flat views).
 * ``scaling`` — run a strong-scaling sweep and print the priced curves.
 * ``partition`` — compare RCB and multilevel decompositions (Figs. 4-5).
 * ``project`` — print the §6 exascale capability projection.
@@ -57,6 +60,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
             },
         )
         print(f"  wrote {len(paths)} VTK files to {args.vtk}_*.vtk")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import NaluWindSimulation, SimulationConfig
+    from repro.obs import render_flat_report, render_span_tree
+    from repro.obs.export import write_telemetry_json
+
+    cfg = SimulationConfig(
+        nranks=args.ranks,
+        partition_method=args.partition,
+        assembly_variant=args.assembly,
+    )
+    sim = NaluWindSimulation(args.workload, cfg)
+    report = sim.run(args.steps)
+    telemetry = report.telemetry
+    if args.format == "json":
+        text = telemetry.to_json()
+    elif args.format == "tree":
+        text = render_span_tree(telemetry, max_depth=args.max_depth)
+    else:
+        text = render_flat_report(telemetry)
+    if args.output:
+        if args.format == "json":
+            write_telemetry_json(args.output, telemetry)
+        else:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+        print(f"wrote {args.format} telemetry to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -169,6 +203,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_run.add_argument("--vtk", default="", help="VTK output prefix")
     p_run.set_defaults(func=_cmd_run)
+
+    p_tr = sub.add_parser(
+        "trace", help="run a workload and emit run telemetry"
+    )
+    p_tr.add_argument("workload", nargs="?", default="turbine_tiny")
+    p_tr.add_argument("--steps", type=int, default=1)
+    p_tr.add_argument("--ranks", type=int, default=2)
+    p_tr.add_argument(
+        "--partition", default="parmetis", choices=["parmetis", "rcb"]
+    )
+    p_tr.add_argument(
+        "--assembly",
+        default="optimized",
+        choices=["optimized", "sparse_add", "general"],
+    )
+    p_tr.add_argument(
+        "--format", default="json", choices=["json", "tree", "flat"]
+    )
+    p_tr.add_argument(
+        "--max-depth", type=int, default=-1,
+        help="span-tree depth cap for --format tree (-1 = unlimited)",
+    )
+    p_tr.add_argument(
+        "--output", default="", help="write to this path instead of stdout"
+    )
+    p_tr.set_defaults(func=_cmd_trace)
 
     p_sc = sub.add_parser("scaling", help="strong-scaling sweep")
     p_sc.add_argument("--workload", default="turbine_tiny")

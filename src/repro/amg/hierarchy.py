@@ -32,6 +32,7 @@ from repro.amg.pmis import C_POINT, pmis_coarsen, second_pass_aggressive
 from repro.amg.strength import aggressive_strength, strength_matrix
 from repro.comm.simcomm import SimWorld
 from repro.linalg.parcsr import ParCSRMatrix
+from repro.obs.telemetry import AMGSetupStats
 from repro.linalg.spgemm import galerkin_product, spgemm
 from repro.smoothers.jacobi import JacobiSmoother, L1JacobiSmoother
 from repro.smoothers.two_stage_gs import TwoStageGS
@@ -302,6 +303,21 @@ class AMGHierarchy:
             "allgather", self.world.size, 8 * Ac.shape[0], self.world.phase
         )
 
+        # Publish hierarchy-quality telemetry (paper §4.1: grid/operator
+        # complexity drive the AMG tuning decisions) and notify observers.
+        stats = self.stats()
+        metrics = self.world.metrics
+        metrics.counter("amg.setups").inc()
+        metrics.gauge("amg.levels").set(stats.num_levels)
+        metrics.gauge("amg.grid_complexity").set(stats.grid_complexity)
+        metrics.gauge("amg.operator_complexity").set(
+            stats.operator_complexity
+        )
+        metrics.histogram("amg.operator_complexity").observe(
+            stats.operator_complexity
+        )
+        self.world.hub.emit("amg_setup", hierarchy=self, stats=stats)
+
     def release(self) -> None:
         """Return the hierarchy's device storage (rebuild or teardown).
 
@@ -335,6 +351,10 @@ class AMGHierarchy:
     def level_sizes(self) -> list[tuple[int, int]]:
         """Per level ``(rows, nnz)``."""
         return [(l.A.shape[0], l.A.nnz) for l in self.levels]
+
+    def stats(self) -> AMGSetupStats:
+        """Telemetry-ready hierarchy quality summary."""
+        return AMGSetupStats.from_level_sizes(self.level_sizes())
 
     def level_table(self) -> str:
         """Human-readable hierarchy summary (hypre's setup printout)."""

@@ -22,6 +22,8 @@ from typing import Any, Callable, Iterator, Sequence
 import numpy as np
 
 from repro.comm.traffic import TrafficLog
+from repro.obs.hooks import ObserverHub
+from repro.obs.metrics import MetricsRegistry
 
 
 def _nbytes(payload: Any) -> int:
@@ -51,6 +53,11 @@ class SimWorld:
         from repro.perf.opcounts import OpRecorder
 
         self.ops = OpRecorder()
+        # Observability: one hub + one metrics registry per world, so every
+        # layer holding the world (equation systems, AMG setup, exchanges)
+        # publishes into a single telemetry stream.
+        self.hub = ObserverHub()
+        self.metrics = MetricsRegistry()
         self.rng = np.random.default_rng(seed)
         self._phase_stack: list[str] = ["default"]
         self._mailboxes: dict[tuple[int, int], deque[Any]] = {}
@@ -64,12 +71,34 @@ class SimWorld:
 
     @contextmanager
     def phase_scope(self, label: str) -> Iterator[None]:
-        """Attribute all traffic inside the ``with`` block to ``label``."""
+        """Attribute all traffic inside the ``with`` block to ``label``.
+
+        Pushes and pops are checked: exiting verifies the popped label is
+        the one this scope pushed, so stack corruption (e.g. an observer
+        mutating ``_phase_stack``) raises immediately instead of silently
+        misattributing all subsequent traffic.
+        """
         self._phase_stack.append(label)
         try:
             yield
         finally:
-            self._phase_stack.pop()
+            self._pop_phase(label)
+
+    def _pop_phase(self, label: str) -> None:
+        """Pop one phase label, validating stack balance."""
+        if len(self._phase_stack) <= 1:
+            raise RuntimeError(
+                f"phase stack underflow: cannot pop {label!r}; the base "
+                "'default' phase is permanent — phase_scope exits are "
+                "unbalanced"
+            )
+        popped = self._phase_stack.pop()
+        if popped != label:
+            raise RuntimeError(
+                f"unbalanced phase stack: popped {popped!r} while closing "
+                f"scope {label!r}; traffic since the mismatch is "
+                "misattributed"
+            )
 
     # -- rank handles ------------------------------------------------------
 
@@ -86,7 +115,16 @@ class SimWorld:
     # -- mailbox primitives (used by SimComm) -------------------------------
 
     def _post(self, src: int, dst: int, payload: Any) -> None:
-        self.traffic.record_message(src, dst, _nbytes(payload), self.phase)
+        nbytes = _nbytes(payload)
+        self.traffic.record_message(src, dst, nbytes, self.phase)
+        self.hub.emit(
+            "exchange",
+            kind="p2p",
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            phase=self.phase,
+        )
         self._mailboxes.setdefault((src, dst), deque()).append(payload)
 
     def _take(self, src: int, dst: int) -> Any:
@@ -129,6 +167,7 @@ class SimWorld:
                     src, dst, _nbytes(payload), self.phase
                 )
                 recv[dst].append(payload)
+        self.hub.emit("exchange", kind="alltoallv", phase=self.phase)
         return recv
 
     def allreduce(
@@ -140,6 +179,12 @@ class SimWorld:
         self.traffic.record_collective(
             "allreduce", self.size, _nbytes(values[0]), self.phase
         )
+        self.hub.emit(
+            "exchange",
+            kind="allreduce",
+            nbytes=_nbytes(values[0]),
+            phase=self.phase,
+        )
         return op(values)
 
     def allgather(self, values: Sequence[Any]) -> list[Any]:
@@ -149,11 +194,18 @@ class SimWorld:
         self.traffic.record_collective(
             "allgather", self.size, _nbytes(values[0]), self.phase
         )
+        self.hub.emit(
+            "exchange",
+            kind="allgather",
+            nbytes=_nbytes(values[0]),
+            phase=self.phase,
+        )
         return list(values)
 
     def barrier(self) -> None:
         """Synchronization point; records a zero-byte collective."""
         self.traffic.record_collective("barrier", self.size, 0, self.phase)
+        self.hub.emit("exchange", kind="barrier", phase=self.phase)
 
 
 class SimComm:

@@ -147,6 +147,40 @@ class TrafficLog:
         """All phase labels seen so far, point-to-point or collective."""
         return sorted(set(self._msg_count) | set(self._coll_count))
 
+    def rank_totals(self) -> dict[int, dict[str, int]]:
+        """Outgoing message count/bytes per source rank over all phases."""
+        out: dict[int, dict[str, int]] = {}
+        for (_ph, r), c in self._rank_msg_count.items():
+            out.setdefault(r, {"messages": 0, "bytes": 0})["messages"] += c
+        for (_ph, r), b in self._rank_msg_bytes.items():
+            out.setdefault(r, {"messages": 0, "bytes": 0})["bytes"] += b
+        return out
+
+    def publish_metrics(self, registry) -> None:
+        """Publish per-phase aggregates into a MetricsRegistry.
+
+        Pull-style: called at telemetry-collection time so the per-message
+        hot path never touches the registry.  Gauges are overwritten, so
+        repeated publication is idempotent on a cumulative log.
+        """
+        for ph in self.phases():
+            registry.gauge("comm.messages", phase=ph).set(
+                self._msg_count.get(ph, 0)
+            )
+            registry.gauge("comm.message_bytes", phase=ph).set(
+                self._msg_bytes.get(ph, 0)
+            )
+            registry.gauge("comm.collectives", phase=ph).set(
+                self._coll_count.get(ph, 0)
+            )
+        registry.gauge("comm.total_messages").set(
+            sum(self._msg_count.values())
+        )
+        registry.gauge("comm.total_message_bytes").set(
+            sum(self._msg_bytes.values())
+        )
+        registry.gauge("comm.total_collectives").set(len(self.collectives))
+
     def clear(self) -> None:
         """Drop all records and aggregates."""
         self.messages.clear()

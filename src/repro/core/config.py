@@ -20,6 +20,9 @@ class SolverConfig:
     max_iters: int = 200
     restart: int = 60
     gs_variant: str = "one_reduce"
+    # Keep per-iteration residual norms in the solve records / telemetry
+    # (convergence traces); off skips the per-iteration bookkeeping.
+    record_history: bool = True
 
 
 @dataclass

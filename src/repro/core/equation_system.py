@@ -49,11 +49,17 @@ PHASES = (
 
 @dataclass
 class SolveRecord:
-    """Iteration/convergence record of one linear solve."""
+    """Iteration/convergence record of one linear solve.
+
+    ``residual_history`` holds per-iteration relative residual norms when
+    the equation's :class:`~repro.core.config.SolverConfig` has
+    ``record_history`` on (the default); empty otherwise.
+    """
 
     iterations: int
     residual_norm: float
     converged: bool
+    residual_history: list[float] = field(default_factory=list)
 
 
 class EquationSystem:
@@ -188,14 +194,30 @@ class EquationSystem:
                     max_iters=cfg.max_iters,
                     restart=cfg.restart,
                     gs_variant=cfg.gs_variant,
+                    record_history=cfg.record_history,
                 )
                 result = gmres.solve(b, x0=x0)
-        self.solve_records.append(
-            SolveRecord(
-                iterations=result.iterations,
-                residual_norm=result.residual_norm,
-                converged=result.converged,
-            )
+        record = SolveRecord(
+            iterations=result.iterations,
+            residual_norm=result.residual_norm,
+            converged=result.converged,
+            residual_history=list(result.residual_history),
+        )
+        self.solve_records.append(record)
+        # Publish convergence telemetry: per-equation counters feed the
+        # NLI statistics (Figs. 3/8/9), the histogram the iteration
+        # distributions, and the hub lets tests/benchmarks observe solves
+        # without monkey-patching.
+        metrics = self.world.metrics
+        metrics.counter("solve.count", equation=self.name).inc()
+        metrics.counter("solve.iterations", equation=self.name).inc(
+            result.iterations
+        )
+        metrics.histogram("solve.iterations", equation=self.name).observe(
+            result.iterations
+        )
+        self.world.hub.emit(
+            "solve", equation=self.name, record=record, result=result
         )
         return result
 

@@ -34,6 +34,12 @@ from repro.core.physics import (
 from repro.core.timers import PhaseTimers
 from repro.assembly.global_assembly import assemble_global_vector
 from repro.mesh.turbine import TurbineMeshSystem, make_workload
+from repro.obs.telemetry import (
+    AMGSetupStats,
+    RunTelemetry,
+    collect_run_telemetry,
+)
+from repro.obs.tracer import Tracer
 from repro.overset.assembler import NodeStatus
 from repro.perf.cost import PhaseAggregate, collect_phase_aggregates
 
@@ -51,6 +57,8 @@ class SimulationReport:
     peak_alloc_bytes: float
     wall_times: dict[str, float]
     divergence_norms: list[float] = field(default_factory=list)
+    #: Full machine-readable telemetry (attached by ``run()``).
+    telemetry: RunTelemetry | None = None
 
     def step_deltas(self) -> list[dict[str, PhaseAggregate]]:
         """Per-step phase aggregates (differences of the cumulatives)."""
@@ -87,7 +95,17 @@ class NaluWindSimulation:
             self.workload_name = workload.name
             self.system = workload
         self.world = SimWorld(self.config.nranks)
-        self.timers = PhaseTimers()
+        # One tracer backs the phase timers, so flat per-phase totals and
+        # the nested span timeline come from the same measurements.
+        self.tracer = Tracer()
+        self.timers = PhaseTimers(tracer=self.tracer)
+        # AMG setup stats arrive through the world's observer hub (the
+        # hierarchy is built deep inside the pressure preconditioner).
+        self.amg_setups: list[AMGSetupStats] = []
+        self.world.hub.subscribe(
+            "amg_setup",
+            lambda stats, **_kw: self.amg_setups.append(stats),
+        )
         self.comp = CompositeMesh(
             self.world, self.system, self.config.partition_method
         )
@@ -267,6 +285,11 @@ class NaluWindSimulation:
 
     def step(self) -> None:
         """One time step: motion, connectivity, graphs, Picard loop."""
+        with self.tracer.span("step", index=len(self.step_snapshots)):
+            self._step_body()
+        self.step_snapshots.append(collect_phase_aggregates(self.world))
+
+    def _step_body(self) -> None:
         cfg = self.config
         with self.timers.measure("motion"):
             with self.world.phase_scope("motion"):
@@ -274,8 +297,9 @@ class NaluWindSimulation:
                 self.comp.update_connectivity()
         for eq in self.systems:
             eq.update_graph()
-        for _ in range(cfg.picard_iterations):
-            self.picard_iteration()
+        for k in range(cfg.picard_iterations):
+            with self.tracer.span("picard", index=k):
+                self.picard_iteration()
         # Mass-conservation diagnostic on free pressure rows (interior
         # edge fluxes plus open boundary faces).
         div = np.zeros(self.comp.n)
@@ -293,13 +317,12 @@ class NaluWindSimulation:
         )
         self.velocity_old = self.velocity.copy()
         self.scalar_old = self.scalar_field.copy()
-        self.step_snapshots.append(collect_phase_aggregates(self.world))
 
     def run(self, n_steps: int) -> SimulationReport:
         """Advance ``n_steps`` and return the run report."""
         for _ in range(n_steps):
             self.step()
-        return SimulationReport(
+        report = SimulationReport(
             config=self.config,
             workload=self.workload_name,
             total_nodes=self.comp.n,
@@ -313,3 +336,5 @@ class NaluWindSimulation:
             wall_times=self.timers.snapshot(),
             divergence_norms=list(self.divergence_norms),
         )
+        report.telemetry = collect_run_telemetry(self, report)
+        return report

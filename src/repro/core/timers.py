@@ -5,6 +5,10 @@ local assembly, global assembly, preconditioner setup, solve) that Figures
 6-7 plot.  :class:`PhaseTimers` measures the host wall clock of the same
 phases; the *simulated machine* times come from the cost model, and the two
 are reported side by side by the harness.
+
+When constructed with a :class:`~repro.obs.tracer.Tracer`, every measured
+block also opens a span, so the flat totals here and the nested timeline
+the telemetry exporter renders are two views of one measurement.
 """
 
 from __future__ import annotations
@@ -14,17 +18,32 @@ from collections import defaultdict
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.tracer import Tracer
+
 
 class PhaseTimers:
-    """Accumulating named wall-clock timers."""
+    """Accumulating named wall-clock timers.
 
-    def __init__(self) -> None:
+    Args:
+        tracer: optional span tracer backing the same measurements.
+    """
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
         self._total: dict[str, float] = defaultdict(float)
         self._count: dict[str, int] = defaultdict(int)
+        self.tracer = tracer
 
     @contextmanager
     def measure(self, name: str) -> Iterator[None]:
         """Time the enclosed block under ``name``."""
+        if self.tracer is not None:
+            try:
+                with self.tracer.span(name) as span:
+                    yield
+            finally:
+                self._total[name] += span.duration
+                self._count[name] += 1
+            return
         t0 = time.perf_counter()
         try:
             yield
@@ -45,6 +64,28 @@ class PhaseTimers:
         """All phase names seen."""
         return sorted(self._total)
 
-    def snapshot(self) -> dict[str, float]:
-        """Copy of the accumulated totals."""
-        return dict(self._total)
+    def snapshot(self, counts: bool = False):
+        """Copy of the accumulated state.
+
+        Args:
+            counts: when False (default), return ``{name: total_s}`` —
+                the historical shape the harness prices.  When True,
+                return ``{name: {"total_s": float, "count": int}}``.
+        """
+        if not counts:
+            return dict(self._total)
+        return {
+            name: {"total_s": t, "count": self._count[name]}
+            for name, t in self._total.items()
+        }
+
+    def merge(self, other: "PhaseTimers") -> "PhaseTimers":
+        """Fold ``other``'s totals and counts into this timer set.
+
+        Combines per-equation timers without manual dict surgery;
+        returns ``self`` so merges chain.
+        """
+        for name, t in other._total.items():
+            self._total[name] += t
+            self._count[name] += other._count[name]
+        return self

@@ -14,14 +14,27 @@ from repro.harness.projection import (
     paper_projection,
     project_capability,
 )
-from repro.harness.report import emit, format_table, loglog_chart, series_table
+from repro.harness.report import (
+    emit,
+    emit_telemetry,
+    format_table,
+    loglog_chart,
+    series_table,
+)
+from repro.obs import (
+    RunTelemetry,
+    render_flat_report,
+    render_span_tree,
+)
 
 __all__ = [
     "CapabilityPoint",
     "NLISeries",
+    "RunTelemetry",
     "ScalingPoint",
     "default_work_scale",
     "emit",
+    "emit_telemetry",
     "equation_breakdown",
     "format_table",
     "loglog_chart",
@@ -29,6 +42,8 @@ __all__ = [
     "nli_step_times",
     "paper_projection",
     "project_capability",
+    "render_flat_report",
+    "render_span_tree",
     "run_strong_scaling",
     "series_table",
 ]

@@ -38,6 +38,8 @@ class CG:
         preconditioner: SPD preconditioner action (None = identity).
         tol: relative residual tolerance.
         max_iters: iteration cap.
+        record_history: keep per-iteration relative residual norms in
+            ``CGResult.residual_history`` (off leaves it empty).
     """
 
     def __init__(
@@ -46,11 +48,13 @@ class CG:
         preconditioner: Preconditioner | None = None,
         tol: float = 1e-6,
         max_iters: int = 500,
+        record_history: bool = True,
     ) -> None:
         self.A = A
         self.M = preconditioner
         self.tol = tol
         self.max_iters = max_iters
+        self.record_history = record_history
 
     def _precond(self, r: ParVector) -> ParVector:
         return r.copy() if self.M is None else self.M.apply(r)
@@ -66,7 +70,7 @@ class CG:
                 iterations=0,
                 residual_norm=0.0,
                 converged=True,
-                residual_history=[0.0],
+                residual_history=[0.0] if self.record_history else [],
             )
         target = self.tol * bnorm
 
@@ -75,7 +79,7 @@ class CG:
         p = z.copy()
         rz = r.dot(z)
         rnorm = r.norm()
-        history = [rnorm / bnorm]
+        history = [rnorm / bnorm] if self.record_history else []
         it = 0
         while rnorm > target and it < self.max_iters:
             Ap = A.matvec(p)
@@ -91,7 +95,8 @@ class CG:
             p = z.copy().axpy(beta, p)
             rz = rz_new
             rnorm = r.norm()
-            history.append(rnorm / bnorm)
+            if self.record_history:
+                history.append(rnorm / bnorm)
             it += 1
         return CGResult(
             x=x,

@@ -46,6 +46,10 @@ class GMRES:
         max_iters: total iteration cap.
         restart: Arnoldi basis size before restart.
         gs_variant: ``"mgs"``, ``"cgs2"`` or ``"one_reduce"``.
+        record_history: keep per-iteration relative residual norms in
+            ``GMRESResult.residual_history``.  Off leaves the history
+            empty and skips the per-iteration appends (hot-path cost is
+            then limited to the convergence test itself).
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class GMRES:
         max_iters: int = 200,
         restart: int = 50,
         gs_variant: str = "one_reduce",
+        record_history: bool = True,
     ) -> None:
         self.A = A
         self.M = preconditioner
@@ -63,6 +68,7 @@ class GMRES:
         self.max_iters = max_iters
         self.restart = restart
         self.gs_variant = gs_variant
+        self.record_history = record_history
 
     def _precond(self, v: ParVector) -> ParVector:
         if self.M is None:
@@ -87,7 +93,7 @@ class GMRES:
                 iterations=0,
                 residual_norm=0.0,
                 converged=True,
-                residual_history=[0.0],
+                residual_history=[0.0] if self.record_history else [],
             )
         target = self.tol * bnorm
 
@@ -96,7 +102,8 @@ class GMRES:
         while True:
             r = A.residual(b, x)
             beta = r.norm()
-            history.append(beta / bnorm)
+            if self.record_history:
+                history.append(beta / bnorm)
             if beta <= target or total_iters >= self.max_iters:
                 return GMRESResult(
                     x=x,
@@ -152,7 +159,8 @@ class GMRES:
                 g[j] = cs[j] * g[j]
                 total_iters += 1
                 k = j + 1
-                history.append(abs(g[j + 1]) / bnorm)
+                if self.record_history:
+                    history.append(abs(g[j + 1]) / bnorm)
                 if abs(g[j + 1]) <= target:
                     break
                 if hj1 <= 1e-300:
@@ -182,7 +190,8 @@ class GMRES:
             if total_iters >= self.max_iters:
                 r = A.residual(b, x)
                 beta = r.norm()
-                history.append(beta / bnorm)
+                if self.record_history:
+                    history.append(beta / bnorm)
                 return GMRESResult(
                     x=x,
                     iterations=total_iters,

@@ -1,0 +1,60 @@
+"""Unified observability layer: spans, metrics, hooks, run telemetry.
+
+The paper's analysis is entirely instrumentation-driven: per-phase and
+per-equation breakdowns (Figs. 6-7), strong-scaling NLI statistics
+(Figs. 3/8/9/11), and AMG hierarchy quality (grid/operator complexity,
+§4.1).  This package gathers every signal the reproduction produces into
+one structured stream:
+
+* :class:`~repro.obs.tracer.Tracer` — nested, labeled wall-clock spans
+  that back :class:`~repro.core.timers.PhaseTimers`;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  histograms that solvers, traffic logs, and AMG setup publish into,
+  mergeable across simulated ranks;
+* :class:`~repro.obs.hooks.ObserverHub` — a callback protocol so tests
+  and benchmarks attach observers without monkey-patching;
+* :class:`~repro.obs.telemetry.RunTelemetry` — the machine-readable run
+  report (``python -m repro trace``), JSON round-trippable;
+* :mod:`~repro.obs.export` — flat/tree text renderers and JSON writers.
+
+The package deliberately imports nothing from the rest of ``repro`` so
+any layer (comm, krylov, amg, core, harness) can depend on it without
+cycles.
+"""
+
+from repro.obs.export import (
+    render_flat_report,
+    render_span_tree,
+    write_telemetry_json,
+)
+from repro.obs.hooks import ObserverHub
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    AMGSetupStats,
+    RunTelemetry,
+    collect_run_telemetry,
+)
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "AMGSetupStats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObserverHub",
+    "RunTelemetry",
+    "Span",
+    "TELEMETRY_SCHEMA",
+    "Tracer",
+    "collect_run_telemetry",
+    "render_flat_report",
+    "render_span_tree",
+    "write_telemetry_json",
+]

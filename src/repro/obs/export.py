@@ -1,0 +1,115 @@
+"""Text and JSON exporters for run telemetry.
+
+Two human-readable views of one :class:`~repro.obs.telemetry.RunTelemetry`
+document:
+
+* :func:`render_span_tree` — the nested timeline (hypre's ``-print_level``
+  style), one line per span with duration and self-time;
+* :func:`render_flat_report` — flat per-phase totals plus convergence and
+  AMG quality summaries, the quick-look companion of Figs. 6-7.
+
+:func:`write_telemetry_json` persists the machine-readable document the
+regression checker diffs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs.telemetry import RunTelemetry
+from repro.obs.tracer import Span
+
+
+def _tree_lines(
+    span: dict[str, Any], depth: int, out: list[str], max_depth: int
+) -> None:
+    if max_depth >= 0 and depth > max_depth:
+        return
+    s = Span.from_dict(span)
+    pad = "  " * depth
+    attrs = (
+        " [" + ", ".join(f"{k}={v}" for k, v in s.attrs.items()) + "]"
+        if s.attrs
+        else ""
+    )
+    out.append(
+        f"{pad}{s.name:<{max(40 - 2 * depth, 8)}s} "
+        f"{s.duration * 1e3:10.3f} ms  (self {s.self_time() * 1e3:.3f} ms)"
+        f"{attrs}"
+    )
+    for c in span.get("children", []):
+        _tree_lines(c, depth + 1, out, max_depth)
+
+
+def render_span_tree(
+    telemetry: RunTelemetry, max_depth: int = -1
+) -> str:
+    """Indented span timeline (``max_depth < 0`` renders everything)."""
+    lines = [
+        f"span tree: {telemetry.workload} "
+        f"({telemetry.nranks} ranks, {telemetry.n_steps} steps)"
+    ]
+    lines.append("-" * len(lines[0]))
+    for root in telemetry.spans:
+        _tree_lines(root, 0, lines, max_depth)
+    if len(lines) == 2:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+def render_flat_report(telemetry: RunTelemetry) -> str:
+    """Flat per-phase totals + convergence + AMG quality summary."""
+    t = telemetry
+    lines = [
+        f"run telemetry: {t.workload} ({t.nranks} ranks, "
+        f"{t.n_steps} steps, {t.total_nodes} nodes)"
+    ]
+    lines.append("=" * len(lines[0]))
+
+    lines.append("phase                                   total [s]   count")
+    for name in sorted(t.phases):
+        ph = t.phases[name]
+        lines.append(
+            f"  {name:<36s} {ph['total_s']:10.4f}  {int(ph['count']):6d}"
+        )
+
+    lines.append("equation       solves  mean iters  last residual")
+    for eq in sorted(t.solves):
+        s = t.solves[eq]
+        its = s.get("iterations", [])
+        norms = s.get("residual_norms", [])
+        mean_it = sum(its) / len(its) if its else 0.0
+        last = norms[-1] if norms else float("nan")
+        lines.append(
+            f"  {eq:<12s} {len(its):6d}  {mean_it:10.2f}  {last:14.3e}"
+        )
+
+    if t.amg_setups:
+        last = t.amg_setups[-1]
+        lines.append(
+            f"amg: {len(t.amg_setups)} setups; last hierarchy "
+            f"{last['num_levels']} levels, "
+            f"grid complexity {last['grid_complexity']:.2f}, "
+            f"operator complexity {last['operator_complexity']:.2f}"
+        )
+
+    tr = t.traffic
+    if tr:
+        lines.append(
+            f"traffic: {tr.get('total_messages', 0)} messages / "
+            f"{tr.get('total_message_bytes', 0)} B p2p, "
+            f"{tr.get('total_collectives', 0)} collectives"
+        )
+    return "\n".join(lines)
+
+
+def write_telemetry_json(path: str, telemetry: RunTelemetry) -> str:
+    """Write the JSON document to ``path`` (dirs created); returns path."""
+    d = os.path.dirname(path)
+    if d:
+        os.makedirs(d, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(telemetry.to_json())
+        fh.write("\n")
+    return path

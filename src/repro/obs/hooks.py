@@ -1,0 +1,67 @@
+"""Observer hub: a lightweight callback protocol.
+
+Benchmarks and tests attach behavior to the running simulation without
+monkey-patching: :class:`~repro.comm.simcomm.SimWorld` owns one
+:class:`ObserverHub`, and instrumented call sites emit named events
+through it —
+
+* ``"solve"`` — after every Krylov solve
+  (``equation=str, record=SolveRecord, result=GMRESResult``);
+* ``"amg_setup"`` — after every AMG hierarchy build
+  (``stats=AMGSetupStats, hierarchy=AMGHierarchy``);
+* ``"exchange"`` — on world-level communication
+  (``kind=str, phase=str`` plus kind-specific sizes).
+
+Emission is a no-op (one dict lookup) when nothing subscribes, so the
+hooks cost nothing on the hot path by default.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+Observer = Callable[..., None]
+
+
+class ObserverHub:
+    """Named-event publish/subscribe with zero-cost idle emission."""
+
+    def __init__(self) -> None:
+        self._observers: dict[str, list[Observer]] = defaultdict(list)
+
+    def subscribe(self, event: str, fn: Observer) -> Callable[[], None]:
+        """Register ``fn`` for ``event``; returns an unsubscribe thunk."""
+        self._observers[event].append(fn)
+        return lambda: self.unsubscribe(event, fn)
+
+    def unsubscribe(self, event: str, fn: Observer) -> None:
+        """Remove one registration of ``fn`` (no-op when absent)."""
+        obs = self._observers.get(event)
+        if obs and fn in obs:
+            obs.remove(fn)
+
+    def has(self, event: str) -> bool:
+        """True when at least one observer listens to ``event``."""
+        obs = self._observers.get(event)
+        return bool(obs)
+
+    def emit(self, event: str, **payload: Any) -> None:
+        """Call every observer of ``event`` with ``payload`` kwargs.
+
+        Observers run in subscription order; an observer raising
+        propagates (tests want loud failures, and production call sites
+        only attach accounting observers).
+        """
+        obs = self._observers.get(event)
+        if not obs:
+            return
+        for fn in list(obs):
+            fn(**payload)
+
+    def clear(self, event: str | None = None) -> None:
+        """Drop observers of one event, or all of them."""
+        if event is None:
+            self._observers.clear()
+        else:
+            self._observers.pop(event, None)

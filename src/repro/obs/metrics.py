@@ -1,0 +1,184 @@
+"""Counters, gauges, and histograms with label support.
+
+The registry is the single sink every subsystem publishes into:
+:class:`~repro.core.equation_system.EquationSystem` counts solves and
+iterations, :class:`~repro.amg.hierarchy.AMGHierarchy` gauges hierarchy
+quality, and :class:`~repro.comm.traffic.TrafficLog` /
+:class:`~repro.perf.opcounts.OpRecorder` publish their aggregates at
+snapshot time.  Registries merge, so per-rank registries built in tests
+combine exactly like MPI reductions would: counters and histograms add,
+gauges keep the latest write.
+
+Instruments are keyed by ``(name, sorted labels)``; labels are plain
+``str -> str`` pairs (``equation="pressure"``) so exports stay
+JSON-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """Monotonically-increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written instantaneous value."""
+
+    value: float = 0.0
+    _written: bool = False
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+        self._written = True
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed samples (count/sum/min/max)."""
+
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        v = float(value)
+        self.count += 1
+        self.sum += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready summary."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled instruments."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        return self._counters.setdefault(key, Counter())
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        return self._gauges.setdefault(key, Gauge())
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        return self._histograms.setdefault(key, Histogram())
+
+    # -- queries -------------------------------------------------------------
+
+    def counters(self) -> Iterator[tuple[str, LabelKey, Counter]]:
+        """All counters as ``(name, labels, instrument)``."""
+        for (name, key), c in sorted(self._counters.items()):
+            yield name, key, c
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter name over all label sets."""
+        return sum(
+            c.value for (n, _k), c in self._counters.items() if n == name
+        )
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (rank-reduction semantics).
+
+        Counters and histograms accumulate; gauges take ``other``'s value
+        when it was ever written (latest writer wins).  Returns ``self``.
+        """
+        for key, c in other._counters.items():
+            self._counters.setdefault(key, Counter()).value += c.value
+        for key, g in other._gauges.items():
+            if g._written or key not in self._gauges:
+                mine = self._gauges.setdefault(key, Gauge())
+                mine.value = g.value
+                mine._written = mine._written or g._written
+        for key, h in other._histograms.items():
+            mine = self._histograms.setdefault(key, Histogram())
+            mine.count += h.count
+            mine.sum += h.sum
+            mine.min = min(mine.min, h.min)
+            mine.max = max(mine.max, h.max)
+        return self
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        """JSON-ready snapshot keyed ``name{label=value,...}``."""
+        return {
+            "counters": {
+                _render_key(n, k): c.value
+                for (n, k), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render_key(n, k): g.value
+                for (n, k), g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render_key(n, k): h.to_dict()
+                for (n, k), h in sorted(self._histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        """Drop all instruments."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

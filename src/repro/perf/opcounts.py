@@ -110,6 +110,19 @@ class OpRecorder:
                 out.add(t.flops, t.bytes, t.launches)
         return out
 
+    def publish_metrics(self, registry) -> None:
+        """Publish busiest-rank work per phase into a MetricsRegistry.
+
+        Pull-style (see TrafficLog.publish_metrics): gauges overwrite, so
+        publication is idempotent on cumulative tallies.
+        """
+        for ph in self.phases():
+            t = self.max_rank_tally(ph)
+            registry.gauge("ops.flops", phase=ph).set(t.flops)
+            registry.gauge("ops.bytes", phase=ph).set(t.bytes)
+            registry.gauge("ops.launches", phase=ph).set(t.launches)
+        registry.gauge("ops.peak_alloc_bytes").set(self.peak_alloc())
+
     def peak_alloc(self, rank: int | None = None) -> float:
         """Peak recorded allocation for a rank, or max over ranks."""
         if rank is not None:
