@@ -33,9 +33,8 @@ from repro.amg.strength import aggressive_strength, strength_matrix
 from repro.comm.simcomm import SimWorld
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.obs.telemetry import AMGSetupStats
-from repro.linalg.spgemm import galerkin_product, spgemm
-from repro.smoothers.jacobi import JacobiSmoother, L1JacobiSmoother
-from repro.smoothers.two_stage_gs import TwoStageGS
+from repro.linalg.spgemm import galerkin_product, galerkin_refresh, spgemm
+from repro.smoothers.factory import make_smoother
 
 #: Calibrated per-level setup communication rounds.  Distributed BoomerAMG
 #: setup exchanges far more than a V-cycle does per level: PMIS marker
@@ -49,6 +48,11 @@ SETUP_COMM_ROUNDS = 60
 #: setup path (hypre issues hundreds of small kernels and cudaMallocs per
 #: level during coarsening/interp/RAP).
 SETUP_LAUNCHES_PER_LEVEL = 600
+
+#: Launch overhead of a numeric-only level refresh: no coarsening, no
+#: symbolic SpGEMM, no comm-package construction — an order of magnitude
+#: fewer kernels than full setup.
+REFRESH_LAUNCHES_PER_LEVEL = 60
 
 INTERP_KINDS = {
     "direct": direct_interpolation,
@@ -124,21 +128,20 @@ class AMGHierarchy:
     def _make_smoother(self, A: ParCSRMatrix):
         opt = self.options
         if opt.smoother == "two_stage_gs":
-            return TwoStageGS(
+            return make_smoother(
+                "two_stage_gs",
                 A,
                 inner_sweeps=opt.smoother_inner,
                 outer_sweeps=opt.smoother_outer,
                 symmetric=opt.smoother_symmetric,
             )
         if opt.smoother == "jacobi":
-            return JacobiSmoother(A, sweeps=opt.smoother_outer)
+            return make_smoother("jacobi", A, sweeps=opt.smoother_outer)
         if opt.smoother == "chebyshev":
-            from repro.smoothers.chebyshev import ChebyshevSmoother
-
-            return ChebyshevSmoother(
-                A, degree=max(opt.smoother_inner + 1, 2)
+            return make_smoother(
+                "chebyshev", A, degree=max(opt.smoother_inner + 1, 2)
             )
-        return L1JacobiSmoother(A, sweeps=opt.smoother_outer)
+        return make_smoother("l1_jacobi", A, sweeps=opt.smoother_outer)
 
     def _coarse_offsets(
         self, cf: np.ndarray, fine_offsets: np.ndarray
@@ -317,6 +320,70 @@ class AMGHierarchy:
             stats.operator_complexity
         )
         self.world.hub.emit("amg_setup", hierarchy=self, stats=stats)
+
+    # -- numeric refresh (pattern-frozen setup reuse) --------------------------------
+
+    def refresh(self, A: ParCSRMatrix | None = None) -> None:
+        """Numeric-only setup refresh on the frozen hierarchy structure.
+
+        Keeps the PMIS C/F splittings, the interpolation/restriction
+        patterns *and values*, the coarse-level sparsity patterns, and all
+        communication structure; recomputes only the Galerkin operator
+        values ``A_{l+1} = R A_l P`` level by level (each product costed
+        as a numeric-only hash-SpGEMM pass), then rebuilds the smoothers
+        and the coarsest factorization on the refreshed values.  This is
+        hypre's "reuse interpolation" amortization, wired to
+        ``precond_rebuild_every`` by
+        :class:`~repro.core.equation_system.EquationSystem`.
+
+        Args:
+            A: optionally, a replacement fine operator.  Must have the
+                same shape and sparsity (nnz) as the current level-0
+                operator; omit it when the operator was updated in place
+                by the assembly fast path.
+        """
+        lvl0 = self.levels[0]
+        if A is not None and A is not lvl0.A:
+            if A.shape != lvl0.A.shape or A.nnz != lvl0.A.nnz:
+                raise ValueError(
+                    "refresh requires an identical fine-level pattern; "
+                    "rebuild the hierarchy instead"
+                )
+            lvl0.A = A
+        world = self.world
+        for k in range(len(self.levels) - 1):
+            lvl = self.levels[k]
+            A_next = self.levels[k + 1].A
+            Ac_csr = galerkin_refresh(
+                world,
+                lvl.R.A,
+                lvl.A.A,
+                lvl.P.A,
+                lvl.A.row_offsets,
+                A_next.row_offsets,
+            )
+            A_next.refresh_values(Ac_csr)
+            for r in range(world.size):
+                world.ops.record(
+                    world.phase,
+                    r,
+                    "amg_refresh_overhead",
+                    flops=0.0,
+                    nbytes=0.0,
+                    launches=REFRESH_LAUNCHES_PER_LEVEL,
+                )
+
+        for lvl in self.levels[:-1]:
+            lvl.smoother = self._make_smoother(lvl.A)
+
+        Ac = self.levels[-1].A
+        self.coarse_lu = splu(Ac.A.tocsc())
+        world.traffic.record_collective(
+            "allgather", world.size, 8 * Ac.shape[0], world.phase
+        )
+
+        self.world.metrics.counter("amg.refresh_count").inc()
+        self.world.hub.emit("amg_refresh", hierarchy=self, stats=self.stats())
 
     def release(self) -> None:
         """Return the hierarchy's device storage (rebuild or teardown).

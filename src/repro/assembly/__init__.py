@@ -15,10 +15,16 @@ from repro.assembly.global_assembly import (
 from repro.assembly.graph import EquationGraph, GraphSpec
 from repro.assembly.ij import HypreIJMatrix, HypreIJVector
 from repro.assembly.local import LocalAssembler, LocalSystem, RankCOO, RankRHS
-from repro.assembly.primitives import reduce_by_key, stable_sort_by_key
+from repro.assembly.plan import AssemblyPlan
+from repro.assembly.primitives import (
+    reduce_by_key,
+    sort_reduce_by_key,
+    stable_sort_by_key,
+)
 
 __all__ = [
     "AssembledMatrix",
+    "AssemblyPlan",
     "EquationGraph",
     "GraphSpec",
     "HypreIJMatrix",
@@ -31,5 +37,6 @@ __all__ = [
     "assemble_global_matrix",
     "assemble_global_vector",
     "reduce_by_key",
+    "sort_reduce_by_key",
     "stable_sort_by_key",
 ]

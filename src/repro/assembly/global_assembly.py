@@ -34,11 +34,11 @@ import numpy as np
 from scipy import sparse
 
 from repro.assembly.local import LocalSystem, RankCOO, RankRHS
+from repro.assembly.plan import AssemblyPlan, _RankMatrixPlan, _RankVectorPlan
 from repro.assembly.primitives import (
     record_reduce_cost,
     record_sort_cost,
-    reduce_by_key,
-    stable_sort_by_key,
+    sort_reduce_by_key,
 )
 from repro.comm.simcomm import SimWorld
 from repro.linalg.parcsr import ParCSRMatrix
@@ -59,20 +59,27 @@ class AssembledMatrix:
 
 def _split_send(
     coo: RankCOO, offsets: np.ndarray, nranks: int, self_rank: int
-) -> list[tuple[np.ndarray, np.ndarray, np.ndarray] | None]:
-    """Split a (row-sorted) send COO by destination owner rank."""
+) -> tuple[
+    list[tuple[np.ndarray, np.ndarray, np.ndarray] | None],
+    np.ndarray | None,
+]:
+    """Split a (row-sorted) send COO by destination owner rank.
+
+    Also returns the destination split bounds (or ``None`` for an empty
+    COO) so a pattern-frozen plan can replay the split on values only.
+    """
     out: list[tuple[np.ndarray, np.ndarray, np.ndarray] | None] = [
         None
     ] * nranks
     if coo.nnz == 0:
-        return out
+        return out, None
     bounds = np.searchsorted(coo.i, offsets)
     for q in range(nranks):
         lo, hi = bounds[q], bounds[q + 1]
         if q == self_rank or hi <= lo:
             continue
         out[q] = (coo.i[lo:hi], coo.j[lo:hi], coo.a[lo:hi])
-    return out
+    return out, bounds
 
 
 def assemble_global_matrix(
@@ -81,8 +88,15 @@ def assemble_global_matrix(
     local: LocalSystem,
     variant: str = "optimized",
     name: str = "A",
+    plan: AssemblyPlan | None = None,
 ) -> AssembledMatrix:
     """Run Algorithm 1 (or a variant) across all ranks.
+
+    When a :class:`~repro.assembly.plan.AssemblyPlan` is passed, the cold
+    path additionally captures the pattern artifacts into it; once the
+    plan is ``matrix_ready`` the call short-circuits into the value-only
+    fast path (same exchange/reduce semantics, no sort, no re-split, no
+    reallocation) and updates the plan's matrix in place.
 
     Returns:
         The globally consistent :class:`~repro.linalg.ParCSRMatrix` plus
@@ -90,14 +104,29 @@ def assemble_global_matrix(
     """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; options {VARIANTS}")
+    if plan is not None and plan.variant != variant:
+        raise ValueError(
+            f"plan was captured for variant {plan.variant!r}, not {variant!r}"
+        )
+    if plan is not None and plan.matrix_ready:
+        matrix, diag_nnz, offd_nnz = plan.run_matrix(world, local)
+        return AssembledMatrix(
+            matrix=matrix, diag_nnz=diag_nnz, offd_nnz=offd_nnz
+        )
+    if plan is not None:
+        plan.begin_matrix_capture()
     offsets = numbering.offsets
     nranks = numbering.nranks
 
     # Steps 2-3: exchange the send COOs.
-    send = [
-        _split_send(local.send_matrix[r], offsets, nranks, r)
-        for r in range(nranks)
-    ]
+    send = []
+    for r in range(nranks):
+        pieces, bounds = _split_send(
+            local.send_matrix[r], offsets, nranks, r
+        )
+        send.append(pieces)
+        if plan is not None:
+            plan._mat_send_bounds.append(bounds)
     recv = world.alltoallv(send)
 
     rows_out: list[np.ndarray] = []
@@ -117,15 +146,17 @@ def assemble_global_matrix(
         nnz_send = local.send_matrix[r].nnz
         nnz_local = own.nnz + max(nnz_send, nnz_recv)
 
+        recv_perm = recv_starts = None
         if variant == "optimized":
             # Stacked contiguous buffers of size nnz_local (precondition)
             # plus the radix sort's ping-pong workspace over the full
             # stacked range.
             staged = 40.0 * nnz_local
             world.ops.record_alloc(r, staged)
-            (i_s, j_s), a_s = stable_sort_by_key((i_all, j_all), a_all)
+            (i_u, j_u), a_u, perm, starts = sort_reduce_by_key(
+                (i_all, j_all), a_all
+            )
             record_sort_cost(world, r, i_all.size, 16, kernel="asm_sort")
-            (i_u, j_u), a_u = reduce_by_key((i_s, j_s), a_s)
             record_reduce_cost(world, r, i_all.size, 16, kernel="asm_reduce")
         elif variant == "sparse_add":
             # Sort/reduce only the received entries, then CSR + CSR: the
@@ -136,13 +167,18 @@ def assemble_global_matrix(
             i_r = i_all[own.nnz :]
             j_r = j_all[own.nnz :]
             a_r = a_all[own.nnz :]
-            (i_rs, j_rs), a_rs = stable_sort_by_key((i_r, j_r), a_r)
+            (i_ru, j_ru), a_ru, recv_perm, recv_starts = sort_reduce_by_key(
+                (i_r, j_r), a_r
+            )
             record_sort_cost(world, r, i_r.size, 16, kernel="asm_sort")
-            (i_ru, j_ru), a_ru = reduce_by_key((i_rs, j_rs), a_rs)
             record_reduce_cost(world, r, i_r.size, 16, kernel="asm_reduce")
             # Merge (sparse addition): one pass over both operands.
-            (i_u, j_u), a_u = _merge_sorted(
-                (own.i, own.j, own.a), (i_ru, j_ru, a_ru)
+            (i_u, j_u), a_u, perm, starts = sort_reduce_by_key(
+                (
+                    np.concatenate([own.i, i_ru]),
+                    np.concatenate([own.j, j_ru]),
+                ),
+                np.concatenate([own.a, a_ru]),
             )
             world.ops.record(
                 world.phase,
@@ -161,12 +197,13 @@ def assemble_global_matrix(
                 + 20.0 * own.nnz
             )
             world.ops.record_alloc(r, staged)
-            (i_s, j_s), a_s = stable_sort_by_key((i_all, j_all), a_all)
+            (i_u, j_u), a_u, perm, starts = sort_reduce_by_key(
+                (i_all, j_all), a_all
+            )
             record_sort_cost(world, r, i_all.size, 16, kernel="asm_sort")
             # A general implementation cannot trust pre-reduced input: it
             # sorts, reduces, then re-checks/compacts with extra passes.
             record_sort_cost(world, r, i_all.size, 16, kernel="asm_sort")
-            (i_u, j_u), a_u = reduce_by_key((i_s, j_s), a_s)
             record_reduce_cost(world, r, i_all.size, 16, kernel="asm_reduce")
             record_reduce_cost(world, r, i_u.size, 16, kernel="asm_reduce")
 
@@ -175,6 +212,16 @@ def assemble_global_matrix(
         in_diag = (j_u >= clo) & (j_u < chi)
         diag_nnz.append(int(in_diag.sum()))
         offd_nnz.append(int(i_u.size - in_diag.sum()))
+        if plan is not None:
+            plan._mat.append(
+                _RankMatrixPlan(
+                    own_nnz=own.nnz,
+                    perm=perm,
+                    starts=starts,
+                    recv_perm=recv_perm,
+                    recv_starts=recv_starts,
+                )
+            )
         world.ops.record(
             world.phase,
             r,
@@ -199,19 +246,15 @@ def assemble_global_matrix(
         shape=(n, n),
     )
     matrix = ParCSRMatrix(world, A, offsets, name=name)
+    if plan is not None:
+        plan.matrix = matrix
+        plan.diag_nnz = list(diag_nnz)
+        plan.offd_nnz = list(offd_nnz)
+        plan.matrix_ready = True
+        world.metrics.counter(
+            "assembly.plan_rebuilds", equation=name
+        ).inc()
     return AssembledMatrix(matrix=matrix, diag_nnz=diag_nnz, offd_nnz=offd_nnz)
-
-
-def _merge_sorted(
-    left: tuple[np.ndarray, np.ndarray, np.ndarray],
-    right: tuple[np.ndarray, np.ndarray, np.ndarray],
-) -> tuple[tuple[np.ndarray, np.ndarray], np.ndarray]:
-    """Add two sorted duplicate-free COO matrices (sparse addition)."""
-    i = np.concatenate([left[0], right[0]])
-    j = np.concatenate([left[1], right[1]])
-    a = np.concatenate([left[2], right[2]])
-    (i_s, j_s), a_s = stable_sort_by_key((i, j), a)
-    return reduce_by_key((i_s, j_s), a_s)
 
 
 def assemble_global_vector(
@@ -219,10 +262,24 @@ def assemble_global_vector(
     numbering: RankNumbering,
     local: LocalSystem,
     variant: str = "optimized",
+    plan: AssemblyPlan | None = None,
 ) -> ParVector:
-    """Run Algorithm 2 (or the general variant) across all ranks."""
+    """Run Algorithm 2 (or the general variant) across all ranks.
+
+    As with :func:`assemble_global_matrix`, passing a plan captures the
+    RHS pattern artifacts on the cold pass and replays them (value-only
+    exchange + segmented sum) once the plan is ``vector_ready``.
+    """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; options {VARIANTS}")
+    if plan is not None and plan.variant != variant:
+        raise ValueError(
+            f"plan was captured for variant {plan.variant!r}, not {variant!r}"
+        )
+    if plan is not None and plan.vector_ready:
+        return plan.run_vector(world, local)
+    if plan is not None:
+        plan.begin_vector_capture()
     offsets = numbering.offsets
     nranks = numbering.nranks
 
@@ -231,6 +288,7 @@ def assemble_global_vector(
     for r in range(nranks):
         srhs = local.send_rhs[r]
         row = [None] * nranks
+        bounds = None
         if srhs.n:
             bounds = np.searchsorted(srhs.i, offsets)
             for q in range(nranks):
@@ -238,6 +296,8 @@ def assemble_global_vector(
                 if q != r and hi > lo:
                     row[q] = (srhs.i[lo:hi], srhs.r[lo:hi])
         send.append(row)
+        if plan is not None:
+            plan._vec_send_bounds.append(bounds)
     recv = world.alltoallv(send)
 
     out = ParVector(world, offsets)
@@ -249,9 +309,8 @@ def assemble_global_vector(
             # Sort/reduce the full stacked buffer (owned + received).
             i_all = np.concatenate([own.i] + [p[0] for p in recv[r]])
             v_all = np.concatenate([own.r] + [p[1] for p in recv[r]])
-            (i_s,), v_s = stable_sort_by_key((i_all,), v_all)
+            (i_u,), v_u, perm, starts = sort_reduce_by_key((i_all,), v_all)
             record_sort_cost(world, r, i_all.size, 8, kernel="vec_sort")
-            (i_u,), v_u = reduce_by_key((i_s,), v_s)
             record_reduce_cost(world, r, i_all.size, 8, kernel="vec_reduce")
             target[i_u - lo] = v_u
             world.ops.record_alloc(r, 16.0 * i_all.size)
@@ -266,10 +325,12 @@ def assemble_global_vector(
                 np.zeros(0)
             )
             target[:] = own.r  # step 6: RHS <- RHS_own
+            perm = np.zeros(0, dtype=np.int64)
+            starts = np.zeros(0, dtype=np.int64)
+            i_u = np.zeros(0, dtype=np.int64)
             if i_r.size:
-                (i_s,), v_s = stable_sort_by_key((i_r,), v_r)
+                (i_u,), v_u, perm, starts = sort_reduce_by_key((i_r,), v_r)
                 record_sort_cost(world, r, i_r.size, 8, kernel="vec_sort")
-                (i_u,), v_u = reduce_by_key((i_s,), v_s)
                 record_reduce_cost(world, r, i_r.size, 8, kernel="vec_reduce")
                 target[i_u - lo] += v_u  # step 7: scatter-add
             world.ops.record(
@@ -285,4 +346,18 @@ def assemble_global_vector(
             )
             world.ops.record_alloc(r, vec_staged)
             world.ops.record_alloc(r, -vec_staged)
+        if plan is not None:
+            plan._vec.append(
+                _RankVectorPlan(
+                    own_n=own.n,
+                    perm=perm,
+                    starts=starts,
+                    target=i_u - lo,
+                )
+            )
+    if plan is not None:
+        plan.vector_ready = True
+        world.metrics.counter(
+            "assembly.vector_plan_rebuilds", equation=plan.name
+        ).inc()
     return out

@@ -26,12 +26,16 @@ is costed as sequential host work.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.comm.simcomm import SimWorld
 from repro.partition.renumber import RankNumbering
+
+#: Monotonic id source for :attr:`EquationGraph.revision`.
+_REVISION_COUNTER = itertools.count(1)
 
 
 @dataclass
@@ -93,6 +97,11 @@ class EquationGraph:
         self.n = spec.n
         if spec.n != numbering.n:
             raise ValueError("numbering size does not match spec.n")
+        #: Process-unique pattern token.  Every graph build (including a
+        #: rebuild after mesh motion) gets a fresh revision, so cached
+        #: :class:`~repro.assembly.plan.AssemblyPlan`s can detect that
+        #: their sparsity pattern is stale by comparing revisions.
+        self.revision = next(_REVISION_COUNTER)
 
         self._build()
 

@@ -25,6 +25,7 @@ from repro.assembly.global_assembly import (
     assemble_global_vector,
 )
 from repro.assembly.local import LocalSystem, RankCOO, RankRHS
+from repro.assembly.plan import AssemblyPlan
 from repro.comm.simcomm import SimWorld
 from repro.linalg.parvector import ParVector
 from repro.partition.renumber import RankNumbering
@@ -46,7 +47,16 @@ def _sorted_unique_coo(
 
 
 class HypreIJMatrix:
-    """Per-rank COO staging + Algorithm 1 assembly."""
+    """Per-rank COO staging + Algorithm 1 assembly.
+
+    With ``reuse_plan=True`` the matrix freezes its sparsity pattern at
+    the first :meth:`assemble` (hypre's
+    ``HYPRE_IJMatrixSetConstantValues``-era amortization): subsequent
+    assemblies on identical staged index arrays take the value-only
+    :class:`~repro.assembly.plan.AssemblyPlan` fast path.  Staging a
+    *different* pattern for any rank transparently drops the plan and the
+    next assemble re-captures it.
+    """
 
     def __init__(
         self,
@@ -54,11 +64,14 @@ class HypreIJMatrix:
         numbering: RankNumbering,
         variant: str = "optimized",
         name: str = "A",
+        reuse_plan: bool = False,
     ) -> None:
         self.world = world
         self.numbering = numbering
         self.variant = variant
         self.name = name
+        self.reuse_plan = reuse_plan
+        self._plan: AssemblyPlan | None = None
         nr = numbering.nranks
         empty = lambda: RankCOO(
             i=np.zeros(0, dtype=np.int64),
@@ -67,6 +80,16 @@ class HypreIJMatrix:
         )
         self._own = [empty() for _ in range(nr)]
         self._send = [empty() for _ in range(nr)]
+
+    def _stage(self, store: list[RankCOO], rank: int, coo: RankCOO) -> None:
+        """Install staged entries, dropping the plan on a pattern change."""
+        if self.reuse_plan and self._plan is not None:
+            old = store[rank]
+            if not (
+                np.array_equal(old.i, coo.i) and np.array_equal(old.j, coo.j)
+            ):
+                self._plan = None
+        store[rank] = coo
 
     def set_values2(
         self, rank: int, i: np.ndarray, j: np.ndarray, a: np.ndarray
@@ -80,7 +103,7 @@ class HypreIJMatrix:
             np.asarray(j, dtype=np.int64),
             np.asarray(a, dtype=np.float64),
         )
-        self._own[rank] = RankCOO(i=si, j=sj, a=sa)
+        self._stage(self._own, rank, RankCOO(i=si, j=sj, a=sa))
 
     def add_to_values2(
         self, rank: int, i: np.ndarray, j: np.ndarray, a: np.ndarray
@@ -93,7 +116,7 @@ class HypreIJMatrix:
         si, sj, sa = _sorted_unique_coo(
             i, np.asarray(j, dtype=np.int64), np.asarray(a, dtype=np.float64)
         )
-        self._send[rank] = RankCOO(i=si, j=sj, a=sa)
+        self._stage(self._send, rank, RankCOO(i=si, j=sj, a=sa))
 
     def assemble(self) -> AssembledMatrix:
         """HYPRE_IJMatrixAssemble: run Algorithm 1 over the staged pieces."""
@@ -108,23 +131,40 @@ class HypreIJMatrix:
             own_rhs=dummy_rhs,
             send_rhs=dummy_rhs,
         )
+        if self.reuse_plan and self._plan is None:
+            self._plan = AssemblyPlan(
+                self.numbering, self.variant, name=self.name
+            )
         return assemble_global_matrix(
-            self.world, self.numbering, local, self.variant, name=self.name
+            self.world,
+            self.numbering,
+            local,
+            self.variant,
+            name=self.name,
+            plan=self._plan,
         )
 
 
 class HypreIJVector:
-    """Per-rank RHS staging + Algorithm 2 assembly."""
+    """Per-rank RHS staging + Algorithm 2 assembly.
+
+    ``reuse_plan=True`` mirrors :class:`HypreIJMatrix`: the shared-row
+    pattern freezes at the first :meth:`assemble` and later assemblies
+    with identical ``add_to_values2`` row sets replay the cached plan.
+    """
 
     def __init__(
         self,
         world: SimWorld,
         numbering: RankNumbering,
         variant: str = "optimized",
+        reuse_plan: bool = False,
     ) -> None:
         self.world = world
         self.numbering = numbering
         self.variant = variant
+        self.reuse_plan = reuse_plan
+        self._plan: AssemblyPlan | None = None
         nr = numbering.nranks
         self._own: list[np.ndarray] = [
             np.zeros(int(numbering.offsets[r + 1] - numbering.offsets[r]))
@@ -147,9 +187,16 @@ class HypreIJVector:
         if i.size and np.any((i >= lo) & (i < hi)):
             raise ValueError("add_to_values2 rows must be owned elsewhere")
         order = np.argsort(i, kind="stable")
-        self._send[rank] = RankRHS(
+        staged = RankRHS(
             i=i[order], r=np.asarray(v, dtype=np.float64)[order]
         )
+        if (
+            self.reuse_plan
+            and self._plan is not None
+            and not np.array_equal(self._send[rank].i, staged.i)
+        ):
+            self._plan = None
+        self._send[rank] = staged
 
     def assemble(self) -> ParVector:
         """HYPRE_IJVectorAssemble: run Algorithm 2 over the staged pieces."""
@@ -179,6 +226,8 @@ class HypreIJVector:
             own_rhs=own,
             send_rhs=self._send,
         )
+        if self.reuse_plan and self._plan is None:
+            self._plan = AssemblyPlan(self.numbering, self.variant, name="b")
         return assemble_global_vector(
-            self.world, self.numbering, local, self.variant
+            self.world, self.numbering, local, self.variant, plan=self._plan
         )

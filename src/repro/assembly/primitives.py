@@ -91,3 +91,34 @@ def reduce_by_key(
     starts = np.flatnonzero(new_run)
     summed = np.add.reduceat(values, starts)
     return tuple(k[starts] for k in keys), summed
+
+
+def sort_reduce_by_key(
+    keys: tuple[np.ndarray, ...], values: np.ndarray
+) -> tuple[tuple[np.ndarray, ...], np.ndarray, np.ndarray, np.ndarray]:
+    """Fused ``stable_sort_by_key`` + ``reduce_by_key``, exposing the plan.
+
+    Performs the exact same operations as the two primitives chained, but
+    additionally returns the sort permutation and the reduce segment
+    starts so a pattern-frozen :class:`~repro.assembly.plan.AssemblyPlan`
+    can replay the value computation (``values[perm]`` followed by a
+    segmented sum over ``starts``) without re-sorting.
+
+    Returns:
+        ``(unique_keys, summed_values, perm, starts)``.
+    """
+    if not keys:
+        raise ValueError("need at least one key array")
+    perm = np.lexsort(tuple(reversed(keys)))
+    sorted_keys = tuple(k[perm] for k in keys)
+    n = values.size
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return tuple(k[:0] for k in keys), values[:0], perm, empty
+    new_run = np.zeros(n, dtype=bool)
+    new_run[0] = True
+    for k in sorted_keys:
+        new_run[1:] |= k[1:] != k[:-1]
+    starts = np.flatnonzero(new_run)
+    summed = np.add.reduceat(values[perm], starts)
+    return tuple(k[starts] for k in sorted_keys), summed, perm, starts

@@ -16,6 +16,9 @@ from repro.amg.hierarchy import AMGOptions
 class SolverConfig:
     """Linear-solver settings for one equation system."""
 
+    # Krylov method: "gmres" | "cg" (dispatched through
+    # repro.krylov.make_krylov_solver).
+    method: str = "gmres"
     tol: float = 1e-5
     max_iters: int = 200
     restart: int = 60
@@ -58,6 +61,12 @@ class SimulationConfig:
     # Local-assembly accumulation (paper §3.2):
     # "atomic" | "deterministic" | "compensated".
     assembly_mode: str = "atomic"
+    # Pattern-frozen global assembly: while the equation graph is
+    # unchanged, replay the cached AssemblyPlan (value-only exchange +
+    # segmented sums into the existing ParCSR storage) instead of
+    # re-running sort/reduce/split.  Bitwise-identical operators; mesh
+    # motion (graph rebuild) invalidates the plan automatically.
+    reuse_assembly_plan: bool = True
 
     # Solvers.
     momentum_solver: SolverConfig = field(default_factory=SolverConfig)
@@ -72,6 +81,11 @@ class SimulationConfig:
     amg: AMGOptions = field(default_factory=lambda: AMGOptions())
     # Rebuild the pressure preconditioner every N solves (1 = always).
     precond_rebuild_every: int = 1
+    # On solves that would otherwise reuse a stale hierarchy outright
+    # (precond_rebuild_every > 1), run a numeric-only Galerkin refresh on
+    # the frozen hierarchy structure instead (hypre's "reuse
+    # interpolation" amortization).
+    amg_refresh: bool = True
 
     def validate(self) -> None:
         """Raise on inconsistent settings."""
@@ -87,6 +101,19 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown assembly_mode {self.assembly_mode!r}"
             )
+        for cfg_name in ("momentum_solver", "scalar_solver", "pressure_solver"):
+            method = getattr(self, cfg_name).method
+            if method not in ("gmres", "cg"):
+                raise ValueError(
+                    f"unknown {cfg_name}.method {method!r}; "
+                    "options ['gmres', 'cg']"
+                )
+        if not isinstance(self.reuse_assembly_plan, bool):
+            raise ValueError("reuse_assembly_plan must be a bool")
+        if not isinstance(self.amg_refresh, bool):
+            raise ValueError("amg_refresh must be a bool")
+        if self.precond_rebuild_every < 1:
+            raise ValueError("precond_rebuild_every must be >= 1")
         if self.picard_iterations < 1 or self.nranks < 1:
             raise ValueError("picard_iterations and nranks must be >= 1")
         if not (0.0 < self.velocity_relax <= 1.0):

@@ -28,14 +28,14 @@ from repro.assembly.global_assembly import (
 )
 from repro.assembly.graph import EquationGraph, GraphSpec
 from repro.assembly.local import LocalAssembler
+from repro.assembly.plan import AssemblyPlan
 from repro.core.composite import CompositeMesh
 from repro.core.config import SimulationConfig
 from repro.core.timers import PhaseTimers
-from repro.krylov.gmres import GMRES, GMRESResult
+from repro.krylov import KrylovResult, make_krylov_solver
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
 from repro.overset.assembler import NodeStatus
-from repro.smoothers.two_stage_gs import TwoStageGS
 
 #: Phase suffixes, in the paper's breakdown order.
 PHASES = (
@@ -81,6 +81,11 @@ class EquationSystem:
         self.assembler: LocalAssembler | None = None
         self.solve_records: list[SolveRecord] = []
         self._solves_since_setup = 0
+        # Pipeline state, initialized eagerly (lazy getattr/hasattr checks
+        # survive attribute typos silently).
+        self._matrix: ParCSRMatrix | None = None
+        self._precond = None
+        self._plan: AssemblyPlan | None = None
 
     # -- constraint sets (application ids), subclass-specific -------------------
 
@@ -129,6 +134,26 @@ class EquationSystem:
         """Reorder a per-application-id array to new (rank-block) ids."""
         return vals_app[self.comp.numbering.new_to_old]
 
+    def _active_plan(self) -> AssemblyPlan | None:
+        """The assembly plan for the current graph (reuse enabled only).
+
+        A plan is keyed to one :class:`EquationGraph` revision; mesh
+        motion rebuilds the graph, bumps the revision, and the stale plan
+        is replaced by a fresh (uncaptured) one here.
+        """
+        if not self.config.reuse_assembly_plan or self.graph is None:
+            return None
+        plan = self._plan
+        if plan is None or plan.graph_revision != self.graph.revision:
+            plan = AssemblyPlan(
+                self.comp.numbering,
+                variant=self.config.assembly_variant,
+                graph=self.graph,
+                name=self.name,
+            )
+            self._plan = plan
+        return plan
+
     def assemble(self, **kwargs) -> tuple[ParCSRMatrix, ParVector]:
         """Stages 2 + 3: fill values and run the global assembly."""
         if self.graph is None:
@@ -139,8 +164,12 @@ class EquationSystem:
                 asmblr.reset()
                 self.fill(asmblr, **kwargs)
                 local = asmblr.finalize()
+        plan = self._active_plan()
+        fast = plan is not None and plan.matrix_ready
         # Last iteration's operator is replaced: return its storage first.
-        if getattr(self, "_matrix", None) is not None:
+        # The fast path updates the cached operator in place, so nothing
+        # is released there.
+        if not fast and self._matrix is not None:
             self._matrix.release()
         with self.timers.measure(self.phase("global_assembly")):
             with self.world.phase_scope(self.phase("global_assembly")):
@@ -150,12 +179,14 @@ class EquationSystem:
                     local,
                     variant=self.config.assembly_variant,
                     name=self.name,
+                    plan=plan,
                 )
                 rhs = assemble_global_vector(
                     self.world,
                     self.comp.numbering,
                     local,
                     variant=self.config.assembly_variant,
+                    plan=plan,
                 )
         self._matrix = am.matrix
         return am.matrix, rhs
@@ -168,35 +199,39 @@ class EquationSystem:
         """Subclass hook: build the preconditioner for a fresh matrix."""
         raise NotImplementedError
 
+    def refresh_preconditioner(self, A: ParCSRMatrix) -> bool:
+        """Subclass hook: numeric-only refresh of a stale preconditioner.
+
+        Called on solves that would otherwise reuse the previous
+        preconditioner unchanged (``precond_rebuild_every > 1``).  Return
+        True when a cheap refresh was performed; False (the default)
+        falls back to plain reuse.
+        """
+        return False
+
     def solver_config(self):
         """Subclass hook: which SolverConfig applies."""
         raise NotImplementedError
 
     def solve(
         self, A: ParCSRMatrix, b: ParVector, x0: ParVector | None = None
-    ) -> GMRESResult:
-        """Preconditioner setup + GMRES solve, with phase attribution."""
+    ) -> KrylovResult:
+        """Preconditioner setup + Krylov solve, with phase attribution."""
         cfg = self.solver_config()
         rebuild = (
             self._solves_since_setup % self.config.precond_rebuild_every == 0
         )
         with self.timers.measure(self.phase("precond_setup")):
             with self.world.phase_scope(self.phase("precond_setup")):
-                if rebuild or not hasattr(self, "_precond"):
+                if rebuild or self._precond is None:
                     self._precond = self.make_preconditioner(A)
+                else:
+                    self.refresh_preconditioner(A)
         self._solves_since_setup += 1
         with self.timers.measure(self.phase("solve")):
             with self.world.phase_scope(self.phase("solve")):
-                gmres = GMRES(
-                    A,
-                    preconditioner=self._precond,
-                    tol=cfg.tol,
-                    max_iters=cfg.max_iters,
-                    restart=cfg.restart,
-                    gs_variant=cfg.gs_variant,
-                    record_history=cfg.record_history,
-                )
-                result = gmres.solve(b, x0=x0)
+                solver = make_krylov_solver(A, self._precond, cfg)
+                result = solver.solve(b, x0=x0)
         record = SolveRecord(
             iterations=result.iterations,
             residual_norm=result.residual_norm,

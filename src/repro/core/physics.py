@@ -26,7 +26,7 @@ from repro.core.operators import (
 )
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
-from repro.smoothers.two_stage_gs import make_sgs2
+from repro.smoothers.factory import make_smoother
 
 
 class MomentumSystem(EquationSystem):
@@ -51,7 +51,8 @@ class MomentumSystem(EquationSystem):
         return self.config.momentum_solver
 
     def make_preconditioner(self, A: ParCSRMatrix):
-        return make_sgs2(
+        return make_smoother(
+            "sgs2",
             A,
             inner_sweeps=self.config.sgs_inner,
             outer_sweeps=self.config.sgs_outer,
@@ -197,12 +198,32 @@ class PressurePoissonSystem(EquationSystem):
     def solver_config(self):
         return self.config.pressure_solver
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._hierarchy: AMGHierarchy | None = None
+
     def make_preconditioner(self, A: ParCSRMatrix):
-        if getattr(self, "_hierarchy", None) is not None:
+        if self._hierarchy is not None:
             self._hierarchy.release()
         h = AMGHierarchy(A, self.config.amg)
         self._hierarchy = h  # kept for complexity diagnostics
         return AMGPreconditioner(h)
+
+    def refresh_preconditioner(self, A: ParCSRMatrix) -> bool:
+        """Numeric-only Galerkin refresh on the frozen hierarchy.
+
+        Runs between full rebuilds (``precond_rebuild_every > 1``) when
+        the fine operator kept its sparsity pattern; falls back to plain
+        stale reuse otherwise.
+        """
+        h = self._hierarchy
+        if not self.config.amg_refresh or h is None:
+            return False
+        lvl0 = h.levels[0].A
+        if A.shape != lvl0.shape or A.nnz != lvl0.nnz:
+            return False  # pattern changed: next rebuild handles it
+        h.refresh(A)
+        return True
 
     def laplace_coefficients(
         self, tau_edge: np.ndarray | float | None = None
@@ -256,7 +277,8 @@ class ScalarTransportSystem(EquationSystem):
         return self.config.scalar_solver
 
     def make_preconditioner(self, A: ParCSRMatrix):
-        return make_sgs2(
+        return make_smoother(
+            "sgs2",
             A,
             inner_sweeps=self.config.sgs_inner,
             outer_sweeps=self.config.sgs_outer,

@@ -278,6 +278,7 @@ class NaluWindSimulation:
                     self.comp.numbering,
                     local,
                     variant=self.config.assembly_variant,
+                    plan=m._active_plan(),
                 )
         return rhs
 

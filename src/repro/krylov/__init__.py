@@ -1,7 +1,21 @@
-"""Krylov solvers: right-preconditioned GMRES, low-sync Gram-Schmidt."""
+"""Krylov solvers: right-preconditioned GMRES, CG, low-sync Gram-Schmidt.
 
-from repro.krylov.cg import CG, CGResult
-from repro.krylov.gmres import GMRES, GMRESResult, Preconditioner
+The unified entry point is :func:`make_krylov_solver`; every solver
+returns a :class:`KrylovResult`.  ``GMRESResult``/``CGResult`` remain as
+deprecated aliases of :class:`KrylovResult`.
+"""
+
+import warnings
+
+from repro.krylov.api import (
+    KRYLOV_METHODS,
+    KrylovResult,
+    KrylovSolver,
+    Preconditioner,
+    make_krylov_solver,
+)
+from repro.krylov.cg import CG
+from repro.krylov.gmres import GMRES
 from repro.krylov.gram_schmidt import VARIANTS as GS_VARIANTS
 from repro.krylov.gram_schmidt import batched_dots, orthogonalize
 
@@ -11,7 +25,24 @@ __all__ = [
     "GMRES",
     "GMRESResult",
     "GS_VARIANTS",
+    "KRYLOV_METHODS",
+    "KrylovResult",
+    "KrylovSolver",
     "Preconditioner",
     "batched_dots",
+    "make_krylov_solver",
     "orthogonalize",
 ]
+
+_DEPRECATED_RESULTS = {"GMRESResult", "CGResult"}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_RESULTS:
+        warnings.warn(
+            f"{name} is deprecated; use repro.krylov.KrylovResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return KrylovResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

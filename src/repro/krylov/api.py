@@ -1,0 +1,106 @@
+"""Unified Krylov-solver API: result type, protocols, factory.
+
+The solver-facing API redesign: every Krylov method returns the same
+:class:`KrylovResult`, satisfies the :class:`KrylovSolver` protocol, and is
+constructed through :func:`make_krylov_solver` from a
+:class:`~repro.core.config.SolverConfig`-like object (duck-typed, so the
+linear-algebra layer stays independent of the config layer).  Equation
+systems dispatch on ``cfg.method`` instead of hardwiring GMRES, which is
+how Nalu-Wind switches the continuity solve between hypre's PCG and the
+one-reduce GMRES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.linalg.parcsr import ParCSRMatrix
+from repro.linalg.parvector import ParVector
+
+#: Supported ``cfg.method`` values.
+KRYLOV_METHODS = ("gmres", "cg")
+
+
+@runtime_checkable
+class Preconditioner(Protocol):
+    """Anything with an ``apply(r) -> z`` action."""
+
+    def apply(self, r: ParVector) -> ParVector: ...
+
+
+@dataclass
+class KrylovResult:
+    """Outcome of one Krylov solve (any method).
+
+    ``method`` names the algorithm that produced the result ("gmres",
+    "cg"); the remaining fields are method-independent.
+    """
+
+    x: ParVector
+    iterations: int
+    residual_norm: float
+    converged: bool
+    residual_history: list[float] = field(default_factory=list)
+    method: str = ""
+
+
+@runtime_checkable
+class KrylovSolver(Protocol):
+    """The uniform solver surface the factory guarantees."""
+
+    def solve(
+        self, b: ParVector, x0: ParVector | None = None
+    ) -> KrylovResult: ...
+
+
+def make_krylov_solver(
+    A: ParCSRMatrix,
+    precond: Preconditioner | None = None,
+    cfg: object | None = None,
+) -> KrylovSolver:
+    """Build the configured Krylov solver for ``A``.
+
+    Args:
+        A: system operator.
+        precond: preconditioner action (None = identity).
+        cfg: any object carrying solver settings — typically a
+            :class:`~repro.core.config.SolverConfig`.  Recognized
+            attributes (all optional): ``method`` ("gmres" | "cg"),
+            ``tol``, ``max_iters``, ``restart``, ``gs_variant``,
+            ``record_history``.  Missing attributes fall back to the
+            method's defaults.
+
+    Returns:
+        A :class:`KrylovSolver` whose ``solve`` returns
+        :class:`KrylovResult`.
+    """
+    method = getattr(cfg, "method", "gmres")
+    tol = getattr(cfg, "tol", 1e-6)
+    max_iters = getattr(cfg, "max_iters", 200)
+    record_history = getattr(cfg, "record_history", True)
+    if method == "gmres":
+        from repro.krylov.gmres import GMRES
+
+        return GMRES(
+            A,
+            preconditioner=precond,
+            tol=tol,
+            max_iters=max_iters,
+            restart=getattr(cfg, "restart", 50),
+            gs_variant=getattr(cfg, "gs_variant", "one_reduce"),
+            record_history=record_history,
+        )
+    if method == "cg":
+        from repro.krylov.cg import CG
+
+        return CG(
+            A,
+            preconditioner=precond,
+            tol=tol,
+            max_iters=max_iters,
+            record_history=record_history,
+        )
+    raise ValueError(
+        f"unknown Krylov method {method!r}; options {list(KRYLOV_METHODS)}"
+    )

@@ -10,24 +10,24 @@ one-reduce GMRES.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 import numpy as np
 
-from repro.krylov.gmres import Preconditioner
+from repro.krylov.api import KrylovResult, Preconditioner
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
 
 
-@dataclass
-class CGResult:
-    """Outcome of one CG solve."""
-
-    x: ParVector
-    iterations: int
-    residual_norm: float
-    converged: bool
-    residual_history: list[float] = field(default_factory=list)
+def __getattr__(name: str):
+    if name == "CGResult":
+        warnings.warn(
+            "CGResult is deprecated; use repro.krylov.KrylovResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return KrylovResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class CG:
@@ -39,7 +39,7 @@ class CG:
         tol: relative residual tolerance.
         max_iters: iteration cap.
         record_history: keep per-iteration relative residual norms in
-            ``CGResult.residual_history`` (off leaves it empty).
+            ``KrylovResult.residual_history`` (off leaves it empty).
     """
 
     def __init__(
@@ -59,18 +59,19 @@ class CG:
     def _precond(self, r: ParVector) -> ParVector:
         return r.copy() if self.M is None else self.M.apply(r)
 
-    def solve(self, b: ParVector, x0: ParVector | None = None) -> CGResult:
+    def solve(self, b: ParVector, x0: ParVector | None = None) -> KrylovResult:
         """Solve ``A x = b``."""
         A = self.A
         x = b.like(np.zeros(b.n)) if x0 is None else x0.copy()
         bnorm = b.norm()
         if bnorm == 0.0:
-            return CGResult(
+            return KrylovResult(
                 x=b.like(np.zeros(b.n)),
                 iterations=0,
                 residual_norm=0.0,
                 converged=True,
                 residual_history=[0.0] if self.record_history else [],
+                method="cg",
             )
         target = self.tol * bnorm
 
@@ -98,10 +99,11 @@ class CG:
             if self.record_history:
                 history.append(rnorm / bnorm)
             it += 1
-        return CGResult(
+        return KrylovResult(
             x=x,
             iterations=it,
             residual_norm=rnorm,
             converged=rnorm <= target,
             residual_history=history,
+            method="cg",
         )

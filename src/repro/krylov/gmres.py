@@ -9,31 +9,25 @@ and the Gram-Schmidt variant controls the reduction count per iteration
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Protocol
+import warnings
 
 import numpy as np
 
+from repro.krylov.api import KrylovResult, Preconditioner
 from repro.krylov.gram_schmidt import orthogonalize
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
 
 
-class Preconditioner(Protocol):
-    """Anything with an ``apply(r) -> z`` action."""
-
-    def apply(self, r: ParVector) -> ParVector: ...
-
-
-@dataclass
-class GMRESResult:
-    """Outcome of one GMRES solve."""
-
-    x: ParVector
-    iterations: int
-    residual_norm: float
-    converged: bool
-    residual_history: list[float] = field(default_factory=list)
+def __getattr__(name: str):
+    if name == "GMRESResult":
+        warnings.warn(
+            "GMRESResult is deprecated; use repro.krylov.KrylovResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return KrylovResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class GMRES:
@@ -47,7 +41,7 @@ class GMRES:
         restart: Arnoldi basis size before restart.
         gs_variant: ``"mgs"``, ``"cgs2"`` or ``"one_reduce"``.
         record_history: keep per-iteration relative residual norms in
-            ``GMRESResult.residual_history``.  Off leaves the history
+            ``KrylovResult.residual_history``.  Off leaves the history
             empty and skips the per-iteration appends (hot-path cost is
             then limited to the convergence test itself).
     """
@@ -75,11 +69,12 @@ class GMRES:
             return v.copy()
         return self.M.apply(v)
 
-    def solve(self, b: ParVector, x0: ParVector | None = None) -> GMRESResult:
+    def solve(self, b: ParVector, x0: ParVector | None = None) -> KrylovResult:
         """Solve ``A x = b``.
 
         Returns:
-            :class:`GMRESResult` with the solution and convergence record.
+            :class:`~repro.krylov.api.KrylovResult` with the solution and
+            convergence record.
         """
         A = self.A
         world = A.world
@@ -88,12 +83,13 @@ class GMRES:
 
         bnorm = b.norm()
         if bnorm == 0.0:
-            return GMRESResult(
+            return KrylovResult(
                 x=b.like(np.zeros(n)),
                 iterations=0,
                 residual_norm=0.0,
                 converged=True,
                 residual_history=[0.0] if self.record_history else [],
+                method="gmres",
             )
         target = self.tol * bnorm
 
@@ -105,12 +101,13 @@ class GMRES:
             if self.record_history:
                 history.append(beta / bnorm)
             if beta <= target or total_iters >= self.max_iters:
-                return GMRESResult(
+                return KrylovResult(
                     x=x,
                     iterations=total_iters,
                     residual_norm=beta,
                     converged=beta <= target,
                     residual_history=history,
+                    method="gmres",
                 )
 
             m = min(self.restart, self.max_iters - total_iters)
@@ -192,10 +189,11 @@ class GMRES:
                 beta = r.norm()
                 if self.record_history:
                     history.append(beta / bnorm)
-                return GMRESResult(
+                return KrylovResult(
                     x=x,
                     iterations=total_iters,
                     residual_norm=beta,
                     converged=beta <= target,
                     residual_history=history,
+                    method="gmres",
                 )

@@ -61,6 +61,10 @@ class ParCSRMatrix:
         self.world = world
         self.name = name
         self.A = sparse.csr_matrix(A)
+        # Canonical storage order (row-major, columns ascending): the
+        # value-only update paths rely on it to align with row-sorted
+        # unique COO values.  No-op when already sorted.
+        self.A.sort_indices()
         self.row_offsets = np.asarray(row_offsets, dtype=np.int64)
         self.col_offsets = (
             self.row_offsets
@@ -81,12 +85,19 @@ class ParCSRMatrix:
     # -- setup ------------------------------------------------------------------
 
     def _build_blocks(self) -> None:
-        """Split each rank's rows into diag/offd with col_map compression."""
+        """Split each rank's rows into diag/offd with col_map compression.
+
+        The per-rank ``in_diag`` masks are kept (in CSR storage order) so
+        value-only updates can re-scatter a rank's row values into the
+        existing diag/offd storage without re-splitting.
+        """
+        self._diag_masks: list[np.ndarray] = []
         for r in range(self.world.size):
             rlo, rhi = self.row_offsets[r], self.row_offsets[r + 1]
             clo, chi = self.col_offsets[r], self.col_offsets[r + 1]
             rows = self.A[rlo:rhi].tocoo()
             in_diag = (rows.col >= clo) & (rows.col < chi)
+            self._diag_masks.append(in_diag)
             diag = sparse.csr_matrix(
                 (
                     rows.data[in_diag],
@@ -126,6 +137,49 @@ class ParCSRMatrix:
         self._released = True
         for r, nbytes in enumerate(self._storage_per_rank):
             self.world.ops.record_alloc(r, -nbytes)
+
+    # -- value-only updates (pattern frozen) ---------------------------------------
+
+    def update_rank_values(self, rank: int, values: np.ndarray) -> None:
+        """Overwrite one rank's row values in place (pattern frozen).
+
+        ``values`` must be the rank's unique row entries in row-major,
+        column-ascending order — exactly the Algorithm-1 reduce output.
+        The global CSR and the rank's diag/offd blocks are updated
+        without touching indices, ``col_map_offd``, the exchange
+        pattern, or the storage accounting.
+        """
+        s = self.A.indptr[self.row_offsets[rank]]
+        e = self.A.indptr[self.row_offsets[rank + 1]]
+        if values.size != e - s:
+            raise ValueError(
+                f"rank {rank} expects {e - s} values, got {values.size}"
+            )
+        self.A.data[s:e] = values
+        mask = self._diag_masks[rank]
+        b = self.blocks[rank]
+        b.diag.data[:] = values[mask]
+        if b.offd.nnz:
+            b.offd.data[:] = values[~mask]
+
+    def refresh_values(self, A_new: sparse.spmatrix) -> None:
+        """Numeric refresh of the whole operator from an equal-pattern CSR.
+
+        Used by :meth:`~repro.amg.hierarchy.AMGHierarchy.refresh` to push
+        recomputed Galerkin values into an existing level operator
+        without rebuilding blocks or communication structure.
+        """
+        A_new = sparse.csr_matrix(A_new)
+        A_new.sort_indices()
+        if A_new.shape != self.A.shape or A_new.nnz != self.A.nnz:
+            raise ValueError(
+                "refresh_values requires an identical sparsity pattern"
+            )
+        self.A.data[:] = A_new.data
+        for r in range(self.world.size):
+            s = self.A.indptr[self.row_offsets[r]]
+            e = self.A.indptr[self.row_offsets[r + 1]]
+            self.update_rank_values(r, self.A.data[s:e])
 
     # -- properties ----------------------------------------------------------------
 

@@ -6,8 +6,10 @@ monkey-patching: :class:`~repro.comm.simcomm.SimWorld` owns one
 through it —
 
 * ``"solve"`` — after every Krylov solve
-  (``equation=str, record=SolveRecord, result=GMRESResult``);
+  (``equation=str, record=SolveRecord, result=KrylovResult``);
 * ``"amg_setup"`` — after every AMG hierarchy build
+  (``stats=AMGSetupStats, hierarchy=AMGHierarchy``);
+* ``"amg_refresh"`` — after every numeric-only hierarchy refresh
   (``stats=AMGSetupStats, hierarchy=AMGHierarchy``);
 * ``"exchange"`` — on world-level communication
   (``kind=str, phase=str`` plus kind-specific sizes).

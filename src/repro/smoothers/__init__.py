@@ -2,6 +2,7 @@
 
 from repro.smoothers.base import BlockSplitting
 from repro.smoothers.chebyshev import ChebyshevSmoother, estimate_dinv_a_eigmax
+from repro.smoothers.factory import SMOOTHER_NAMES, make_smoother
 from repro.smoothers.gauss_seidel import HybridGS
 from repro.smoothers.jacobi import JacobiSmoother, L1JacobiSmoother
 from repro.smoothers.two_stage_gs import TwoStageGS, make_sgs2
@@ -13,6 +14,8 @@ __all__ = [
     "HybridGS",
     "JacobiSmoother",
     "L1JacobiSmoother",
+    "SMOOTHER_NAMES",
     "TwoStageGS",
     "make_sgs2",
+    "make_smoother",
 ]

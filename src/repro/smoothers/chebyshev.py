@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
-from repro.smoothers.base import BlockSplitting
+from repro.smoothers.base import BlockSplitting, warn_direct_construction
 
 
 def estimate_dinv_a_eigmax(
@@ -54,6 +54,7 @@ class ChebyshevSmoother:
         eig_ratio: float = 0.30,
         eig_max: float | None = None,
     ) -> None:
+        warn_direct_construction(self, ChebyshevSmoother)
         if degree < 1:
             raise ValueError("degree must be >= 1")
         self.A = A

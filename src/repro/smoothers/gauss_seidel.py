@@ -15,11 +15,19 @@ from scipy.sparse.linalg import spsolve_triangular
 
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
-from repro.smoothers.base import BlockSplitting, record_local_spmv
+from repro.smoothers.base import (
+    BlockSplitting,
+    record_local_spmv,
+    warn_direct_construction,
+)
 
 
 class HybridGS:
-    """Hybrid Gauss-Seidel with exact block-local triangular solves."""
+    """Hybrid Gauss-Seidel with exact block-local triangular solves.
+
+    .. deprecated:: direct construction — use
+       ``make_smoother("hybrid_gs", A, ...)``.
+    """
 
     def __init__(
         self,
@@ -27,6 +35,7 @@ class HybridGS:
         outer_sweeps: int = 1,
         symmetric: bool = False,
     ) -> None:
+        warn_direct_construction(self, HybridGS)
         self.A = A
         self.split = BlockSplitting(A)
         self.outer_sweeps = outer_sweeps

@@ -28,7 +28,11 @@ import numpy as np
 
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
-from repro.smoothers.base import BlockSplitting, record_local_spmv
+from repro.smoothers.base import (
+    BlockSplitting,
+    record_local_spmv,
+    warn_direct_construction,
+)
 
 
 class TwoStageGS:
@@ -49,6 +53,7 @@ class TwoStageGS:
         outer_sweeps: int = 1,
         symmetric: bool = False,
     ) -> None:
+        warn_direct_construction(self, TwoStageGS)
         if inner_sweeps < 0 or outer_sweeps < 1:
             raise ValueError("need inner_sweeps >= 0 and outer_sweeps >= 1")
         self.A = A
@@ -112,10 +117,19 @@ def make_sgs2(A: ParCSRMatrix, inner_sweeps: int = 2, outer_sweeps: int = 2) -> 
     """The paper's momentum preconditioner: compact two-stage symmetric GS.
 
     Defaults to the configuration §4.2 recommends (two outer, two inner).
+
+    .. deprecated:: use ``make_smoother("sgs2", A, ...)``.
     """
-    return TwoStageGS(
-        A,
-        inner_sweeps=inner_sweeps,
-        outer_sweeps=outer_sweeps,
-        symmetric=True,
+    import warnings
+
+    warnings.warn(
+        "make_sgs2 is deprecated; use repro.smoothers.make_smoother"
+        '("sgs2", A, inner_sweeps=..., outer_sweeps=...)',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.smoothers.factory import make_smoother
+
+    return make_smoother(
+        "sgs2", A, inner_sweeps=inner_sweeps, outer_sweeps=outer_sweeps
     )
