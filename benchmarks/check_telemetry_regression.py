@@ -107,6 +107,38 @@ def compare(
                     f"amg {key} drift {d * 100:.1f}% "
                     f"({b:.3f} -> {c:.3f}) exceeds {iters_tol * 100:.0f}%"
                 )
+
+    # Resilience schema: the resilience.* counter names (including their
+    # label renderings) must match exactly — the simulator is
+    # deterministic, so a vanished/renamed counter or a changed count is
+    # a recovery-path change, not noise.
+    bm = base.get("metrics", {}).get("counters", {})
+    cm = cur.get("metrics", {}).get("counters", {})
+    bres = {k: v for k, v in bm.items() if k.startswith("resilience.")}
+    cres = {k: v for k, v in cm.items() if k.startswith("resilience.")}
+    for key in sorted(set(bres) | set(cres)):
+        if key not in bres or key not in cres:
+            failures.append(
+                f"resilience counter {key!r} only in "
+                f"{'current' if key not in bres else 'baseline'}"
+            )
+        elif bres[key] != cres[key]:
+            failures.append(
+                f"resilience counter {key!r} changed "
+                f"({bres[key]} -> {cres[key]})"
+            )
+
+    # Recovery summary: failure/recovery-by-action counts must replay
+    # identically (fault schedules are seeded).
+    bsum = base.get("resilience", {}) or {}
+    csum = cur.get("resilience", {}) or {}
+    bkey = (bsum.get("failures", 0), bsum.get("recoveries", {}))
+    ckey = (csum.get("failures", 0), csum.get("recoveries", {}))
+    if bkey != ckey:
+        failures.append(
+            f"resilience summary changed ({bkey[0]} failures {bkey[1]} "
+            f"-> {ckey[0]} failures {ckey[1]})"
+        )
     return failures
 
 

@@ -13,19 +13,25 @@ Public entry points:
 * :mod:`repro.perf` — the Summit/Eagle machine models and cost pricing.
 * :mod:`repro.obs` — the unified telemetry layer (spans, metrics, run
   reports; ``python -m repro trace``).
+* :mod:`repro.resilience` — solver-failure guards, recovery policies,
+  and seeded fault injection (``docs/resilience.md``).
 """
 
 from repro.core import NaluWindSimulation, SimulationConfig, SimulationReport
 from repro.obs import MetricsRegistry, RunTelemetry, Tracer
+from repro.resilience import FaultSpec, RecoveryPolicy, SolverFailure
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultSpec",
     "MetricsRegistry",
     "NaluWindSimulation",
+    "RecoveryPolicy",
     "RunTelemetry",
     "SimulationConfig",
     "SimulationReport",
+    "SolverFailure",
     "Tracer",
     "__version__",
 ]

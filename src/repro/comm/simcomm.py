@@ -58,6 +58,10 @@ class SimWorld:
         # publishes into a single telemetry stream.
         self.hub = ObserverHub()
         self.metrics = MetricsRegistry()
+        # Resilience: optional seeded FaultInjector (see
+        # repro.resilience.injection); when set, world-level exchanges give
+        # it the chance to corrupt payloads deterministically.
+        self.fault_injector: Any = None
         self.rng = np.random.default_rng(seed)
         self._phase_stack: list[str] = ["default"]
         self._mailboxes: dict[tuple[int, int], deque[Any]] = {}
@@ -148,7 +152,11 @@ class SimWorld:
         ``send[r][q]`` is the payload rank ``r`` sends to rank ``q`` (``None``
         to send nothing).  Returns ``recv`` with ``recv[q][i]`` the payloads
         received by rank ``q`` in sender-rank order.  Only non-``None``,
-        non-empty payloads are transmitted and recorded.
+        non-empty payloads are transmitted and recorded; the diagonal
+        ``src == dst`` payload is delivered locally without touching the
+        traffic log — a rank keeping its own data is a memory copy, not a
+        network message (``SimComm.send`` rejects self-sends for the same
+        reason).
         """
         if len(send) != self.size:
             raise ValueError("alltoallv needs one send row per rank")
@@ -163,10 +171,13 @@ class SimWorld:
                     continue
                 if isinstance(payload, np.ndarray) and payload.size == 0:
                     continue
-                self.traffic.record_message(
-                    src, dst, _nbytes(payload), self.phase
-                )
+                if dst != src:
+                    self.traffic.record_message(
+                        src, dst, _nbytes(payload), self.phase
+                    )
                 recv[dst].append(payload)
+        if self.fault_injector is not None:
+            self.fault_injector.on_alltoallv(recv, phase=self.phase)
         self.hub.emit("exchange", kind="alltoallv", phase=self.phase)
         return recv
 

@@ -106,9 +106,15 @@ class TrafficLog:
     # -- queries -----------------------------------------------------------
 
     def message_count(self, phase: str | None = None) -> int:
-        """Total point-to-point messages, optionally restricted to a phase."""
+        """Total point-to-point messages, optionally restricted to a phase.
+
+        Computed from the incremental aggregates, not ``len(messages)``:
+        bulk :meth:`record_messages` appends a single summary record
+        while counting ``count`` messages, so the detailed list
+        undercounts by design.
+        """
         if phase is None:
-            return len(self.messages)
+            return sum(self._msg_count.values())
         return self._msg_count.get(phase, 0)
 
     def message_bytes(self, phase: str | None = None) -> int:

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.amg.hierarchy import AMGOptions
+from repro.resilience.injection import FaultSpec
+from repro.resilience.policy import RecoveryPolicy
 
 
 @dataclass
@@ -87,6 +89,14 @@ class SimulationConfig:
     # interpolation" amortization).
     amg_refresh: bool = True
 
+    # Resilience (docs/resilience.md): NaN/Inf guards + the recovery
+    # escalation ladder for failed solves.
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    # Seeded deterministic fault injection (tests / chaos runs); empty
+    # means a nominal run.
+    faults: tuple[FaultSpec, ...] = ()
+    fault_seed: int = 0
+
     def validate(self) -> None:
         """Raise on inconsistent settings."""
         if self.partition_method not in ("parmetis", "rcb"):
@@ -120,3 +130,6 @@ class SimulationConfig:
             raise ValueError("velocity_relax must be in (0, 1]")
         if not (0.0 < self.pressure_relax <= 1.0):
             raise ValueError("pressure_relax must be in (0, 1]")
+        self.recovery.validate()
+        for spec in self.faults:
+            spec.validate()

@@ -16,7 +16,7 @@ preconditioner setup (blue), solve (orange).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -36,6 +36,12 @@ from repro.krylov import KrylovResult, make_krylov_solver
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
 from repro.overset.assembler import NodeStatus
+from repro.resilience.guards import (
+    SolverFailure,
+    iterate_is_finite,
+    operands_are_finite,
+)
+from repro.resilience.policy import RecoveryEvent, RecoveryPolicy
 
 #: Phase suffixes, in the paper's breakdown order.
 PHASES = (
@@ -189,6 +195,11 @@ class EquationSystem:
                     plan=plan,
                 )
         self._matrix = am.matrix
+        injector = self.world.fault_injector
+        if injector is not None:
+            injector.on_matrix(
+                am.matrix, self.name, phase=self.phase("global_assembly")
+            )
         return am.matrix, rhs
 
     def fill(self, asmblr: LocalAssembler, **kwargs) -> None:
@@ -213,11 +224,55 @@ class EquationSystem:
         """Subclass hook: which SolverConfig applies."""
         raise NotImplementedError
 
+    def reset_solver_caches(self) -> None:
+        """Drop every cached setup product (plan, preconditioner, AMG).
+
+        Recovery hook: the next :meth:`assemble` re-captures the assembly
+        plan from scratch (cold path, fresh operator storage) and the
+        next :meth:`solve` rebuilds the preconditioner — nothing derived
+        from a possibly-corrupted operator survives.
+        """
+        self._plan = None
+        self._precond = None
+        self._solves_since_setup = 0
+
     def solve(
         self, A: ParCSRMatrix, b: ParVector, x0: ParVector | None = None
     ) -> KrylovResult:
-        """Preconditioner setup + Krylov solve, with phase attribution."""
+        """Preconditioner setup + Krylov solve, with phase attribution.
+
+        With guards on (``config.recovery.guards``), a NaN/Inf iterate —
+        and, when ``config.recovery`` is enabled, a non-converged solve —
+        triggers the recovery escalation ladder instead of being recorded
+        silently; an exhausted ladder raises
+        :class:`~repro.resilience.guards.SolverFailure` for the
+        simulation-level rollback to handle.
+        """
         cfg = self.solver_config()
+        policy = self.config.recovery
+        # Corrupted operands are caught before preconditioner setup: a
+        # hierarchy built from a NaN operator is garbage (and noisy), and
+        # no solver-level retry can help — only the simulation-level
+        # rollback re-assembles the operands.
+        if policy.guards and not operands_are_finite(A, b):
+            failure = SolverFailure(
+                f"{self.name} operands are non-finite before solve",
+                equation=self.name,
+                kind="nonfinite_operands",
+                phase=self.phase("solve"),
+            )
+            self.world.metrics.counter(
+                "resilience.failures",
+                equation=self.name,
+                kind="nonfinite_operands",
+            ).inc()
+            self.world.hub.emit(
+                "solver_failure",
+                equation=self.name,
+                kind="nonfinite_operands",
+                failure=failure,
+            )
+            raise failure
         rebuild = (
             self._solves_since_setup % self.config.precond_rebuild_every == 0
         )
@@ -228,10 +283,10 @@ class EquationSystem:
                 else:
                     self.refresh_preconditioner(A)
         self._solves_since_setup += 1
-        with self.timers.measure(self.phase("solve")):
-            with self.world.phase_scope(self.phase("solve")):
-                solver = make_krylov_solver(A, self._precond, cfg)
-                result = solver.solve(b, x0=x0)
+        result = self._run_krylov(A, b, x0, cfg)
+        kind = self._classify_failure(result, policy)
+        if kind is not None:
+            result = self._recover(A, b, x0, cfg, result, kind, policy)
         record = SolveRecord(
             iterations=result.iterations,
             residual_norm=result.residual_norm,
@@ -255,6 +310,161 @@ class EquationSystem:
             "solve", equation=self.name, record=record, result=result
         )
         return result
+
+    # -- failure handling -------------------------------------------------------
+
+    def _run_krylov(
+        self, A: ParCSRMatrix, b: ParVector, x0: ParVector | None, cfg
+    ) -> KrylovResult:
+        """One Krylov attempt under solve-phase attribution."""
+        with self.timers.measure(self.phase("solve")):
+            with self.world.phase_scope(self.phase("solve")):
+                solver = make_krylov_solver(A, self._precond, cfg)
+                result = solver.solve(b, x0=x0)
+        injector = self.world.fault_injector
+        if injector is not None and injector.on_solve(
+            self.name, phase=self.phase("solve")
+        ):
+            result = replace(result, converged=False)
+        return result
+
+    def _classify_failure(
+        self, result: KrylovResult, policy: RecoveryPolicy
+    ) -> str | None:
+        """Failure kind of a solve result, or None when it is healthy."""
+        if policy.guards and not iterate_is_finite(result):
+            return "nonfinite_iterate"
+        if (
+            policy.enabled
+            and policy.recover_non_convergence
+            and not result.converged
+        ):
+            return "non_convergence"
+        return None
+
+    def _failure(
+        self,
+        result: KrylovResult,
+        kind: str,
+        attempts: tuple[str, ...] = (),
+    ) -> SolverFailure:
+        """Structured failure carrying the solve's diagnostic context."""
+        return SolverFailure(
+            f"{self.name} solve failed ({kind}): residual "
+            f"{result.residual_norm:.3e} after {result.iterations} "
+            f"iterations"
+            + (f"; tried {list(attempts)}" if attempts else ""),
+            equation=self.name,
+            kind=kind,
+            phase=self.phase("solve"),
+            residual_norm=result.residual_norm,
+            iterations=result.iterations,
+            residual_history=list(result.residual_history),
+            attempts=attempts,
+        )
+
+    def _recover(
+        self,
+        A: ParCSRMatrix,
+        b: ParVector,
+        x0: ParVector | None,
+        cfg,
+        result: KrylovResult,
+        kind: str,
+        policy: RecoveryPolicy,
+    ) -> KrylovResult:
+        """Run the solver-level escalation ladder for a failed solve.
+
+        Returns the first healthy retry result; raises
+        :class:`SolverFailure` when recovery is disabled, the operands
+        themselves are corrupted (retries cannot help — only the
+        simulation-level rollback re-assembles them), or the ladder is
+        exhausted.
+        """
+        metrics = self.world.metrics
+        metrics.counter(
+            "resilience.failures", equation=self.name, kind=kind
+        ).inc()
+        failure = self._failure(result, kind)
+        self.world.hub.emit(
+            "solver_failure",
+            equation=self.name,
+            kind=kind,
+            failure=failure,
+        )
+        if not policy.enabled:
+            raise failure
+        if not operands_are_finite(A, b):
+            raise self._failure(result, "nonfinite_operands")
+        attempts: list[str] = []
+        with self.timers.measure(self.phase("recovery")):
+            with self.world.phase_scope(self.phase("recovery")):
+                for attempt, action in enumerate(policy.ladder, start=1):
+                    attempts.append(action)
+                    detail = ""
+                    candidate: KrylovResult | None = None
+                    try:
+                        candidate = self._attempt_recovery(
+                            action, A, b, x0, cfg, policy
+                        )
+                        ok = iterate_is_finite(candidate) and (
+                            candidate.converged
+                            or not policy.recover_non_convergence
+                        )
+                        if not ok:
+                            detail = (
+                                f"residual {candidate.residual_norm:.3e}, "
+                                f"converged={candidate.converged}"
+                            )
+                    except Exception as exc:  # noqa: BLE001 - recorded, escalated
+                        ok = False
+                        detail = f"{type(exc).__name__}: {exc}"
+                    event = RecoveryEvent(
+                        equation=self.name,
+                        kind=kind,
+                        action=action,
+                        attempt=attempt,
+                        success=ok,
+                        detail=detail,
+                    )
+                    self.world.hub.emit("recovery", **event.to_dict())
+                    if ok:
+                        metrics.counter(
+                            "resilience.recoveries",
+                            action=action,
+                            equation=self.name,
+                        ).inc()
+                        return candidate
+        raise self._failure(result, kind, attempts=tuple(attempts))
+
+    def _attempt_recovery(
+        self,
+        action: str,
+        A: ParCSRMatrix,
+        b: ParVector,
+        x0: ParVector | None,
+        cfg,
+        policy: RecoveryPolicy,
+    ) -> KrylovResult:
+        """One ladder rung: adjust state/config, retry the solve."""
+        if action == "rebuild_precond":
+            self.reset_solver_caches()
+            with self.timers.measure(self.phase("precond_setup")):
+                with self.world.phase_scope(self.phase("precond_setup")):
+                    self._precond = self.make_preconditioner(A)
+            self._solves_since_setup = 1
+            return self._run_krylov(A, b, x0, cfg)
+        if action == "expand_krylov":
+            boosted = replace(
+                cfg,
+                restart=max(1, int(cfg.restart * policy.retry_scale)),
+                max_iters=max(1, int(cfg.max_iters * policy.retry_scale)),
+            )
+            return self._run_krylov(A, b, x0, boosted)
+        if action == "fallback_method":
+            alternate = "cg" if cfg.method == "gmres" else "gmres"
+            return self._run_krylov(A, b, x0, replace(cfg, method=alternate))
+        raise ValueError(f"unknown recovery action {action!r}")
 
     # -- helpers shared by the physics subclasses -----------------------------------
 

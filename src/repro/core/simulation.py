@@ -14,6 +14,7 @@ on any machine model, exactly the statistic Figs. 3/8/9/11 plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -42,6 +43,9 @@ from repro.obs.telemetry import (
 from repro.obs.tracer import Tracer
 from repro.overset.assembler import NodeStatus
 from repro.perf.cost import PhaseAggregate, collect_phase_aggregates
+from repro.resilience.guards import SolverFailure, validate_fields
+from repro.resilience.injection import FaultInjector
+from repro.resilience.policy import RecoveryEvent, summarize_events
 
 
 @dataclass
@@ -57,6 +61,10 @@ class SimulationReport:
     peak_alloc_bytes: float
     wall_times: dict[str, float]
     divergence_norms: list[float] = field(default_factory=list)
+    #: Recovery summary (``{}`` for a clean run; otherwise failures /
+    #: recoveries-by-action counts and the raw event list — see
+    #: :func:`repro.resilience.policy.summarize_events`).
+    recovery: dict[str, Any] = field(default_factory=dict)
     #: Full machine-readable telemetry (attached by ``run()``).
     telemetry: RunTelemetry | None = None
 
@@ -106,6 +114,16 @@ class NaluWindSimulation:
             "amg_setup",
             lambda stats, **_kw: self.amg_setups.append(stats),
         )
+        # Resilience: scheduled faults corrupt exchanges/operators/solves
+        # deterministically; failure and recovery events are aggregated
+        # here for the report's recovery summary.
+        if self.config.faults:
+            self.world.fault_injector = FaultInjector(
+                self.config.faults, seed=self.config.fault_seed
+            )
+        self.recovery_events: list[dict[str, Any]] = []
+        self.world.hub.subscribe("solver_failure", self._on_solver_failure)
+        self.world.hub.subscribe("recovery", self._on_recovery)
         self.comp = CompositeMesh(
             self.world, self.system, self.config.partition_method
         )
@@ -139,6 +157,107 @@ class NaluWindSimulation:
     def _new_to_app(self, data_new: np.ndarray) -> np.ndarray:
         """Reorder a solved (rank-block) vector back to application order."""
         return data_new[self.comp.numbering.old_to_new]
+
+    # -- resilience --------------------------------------------------------------
+
+    def _on_solver_failure(self, failure: Any = None, **kw: Any) -> None:
+        """Hub observer: fold a solver_failure event into the run record."""
+        entry: dict[str, Any] = {"event": "solver_failure"}
+        if failure is not None:
+            entry.update(failure.to_dict())
+        else:
+            entry.update(kw)
+        self.recovery_events.append(entry)
+
+    def _on_recovery(self, **kw: Any) -> None:
+        """Hub observer: fold a recovery event into the run record."""
+        entry: dict[str, Any] = {"event": "recovery"}
+        entry.update(kw)
+        self.recovery_events.append(entry)
+
+    def _checkpoint_fields(self) -> dict[str, np.ndarray]:
+        """Copy the full field state for a possible rollback."""
+        state = {
+            "velocity": self.velocity.copy(),
+            "velocity_old": self.velocity_old.copy(),
+            "pressure_field": self.pressure_field.copy(),
+            "pressure_correction": self.pressure_correction.copy(),
+            "scalar_field": self.scalar_field.copy(),
+            "scalar_old": self.scalar_old.copy(),
+        }
+        if hasattr(self, "mdot"):
+            state["mdot"] = self.mdot.copy()
+        return state
+
+    def _restore_fields(self, checkpoint: dict[str, np.ndarray]) -> None:
+        """Restore field state from a checkpoint (copies, reusable)."""
+        for name, arr in checkpoint.items():
+            setattr(self, name, arr.copy())
+
+    def _rollback(self, checkpoint: dict[str, np.ndarray],
+                  failure: SolverFailure, attempt: int) -> None:
+        """Undo a failed step: rewind motion, restore fields, back off dt.
+
+        The failed step's rotor advance is reversed (``advance_rotor`` with
+        negative dt), every solver cache derived from the corrupted state
+        is dropped, and the timestep is scaled by ``dt_backoff`` for the
+        re-step; connectivity and graphs are rebuilt by the re-run of
+        :meth:`_step_body` itself.
+        """
+        cfg = self.config
+        policy = cfg.recovery
+        self.system.advance_rotor(-cfg.dt)
+        self._restore_fields(checkpoint)
+        for eq in self.systems:
+            eq.reset_solver_caches()
+        new_dt = cfg.dt * policy.dt_backoff
+        detail = f"dt {cfg.dt:.4g} -> {new_dt:.4g}"
+        cfg.dt = new_dt
+        self.world.metrics.counter(
+            "resilience.recoveries",
+            action="rollback_restep",
+            equation=failure.equation,
+        ).inc()
+        event = RecoveryEvent(
+            equation=failure.equation,
+            kind=failure.kind,
+            action="rollback_restep",
+            attempt=attempt,
+            success=True,
+            detail=detail,
+        )
+        self.world.hub.emit("recovery", **event.to_dict())
+
+    def _guard_fields(self) -> None:
+        """NaN/Inf check of the solution fields at end of step."""
+        if not self.config.recovery.guards:
+            return
+        try:
+            validate_fields(
+                {
+                    "velocity": self.velocity,
+                    "pressure": self.pressure_field,
+                    "scalar": self.scalar_field,
+                },
+                phase="step",
+            )
+        except SolverFailure as failure:
+            self.world.metrics.counter(
+                "resilience.failures",
+                equation=failure.equation,
+                kind=failure.kind,
+            ).inc()
+            self.world.hub.emit(
+                "solver_failure",
+                equation=failure.equation,
+                kind=failure.kind,
+                failure=failure,
+            )
+            raise
+
+    def _recovery_summary(self) -> dict[str, Any]:
+        """Fold the run's failure/recovery events into a report summary."""
+        return summarize_events(self.recovery_events)
 
     def effective_viscosity(self) -> np.ndarray:
         """Molecular + turbulence-scalar eddy viscosity."""
@@ -285,9 +404,39 @@ class NaluWindSimulation:
     # -- time stepping ----------------------------------------------------------------
 
     def step(self) -> None:
-        """One time step: motion, connectivity, graphs, Picard loop."""
-        with self.tracer.span("step", index=len(self.step_snapshots)):
-            self._step_body()
+        """One time step: motion, connectivity, graphs, Picard loop.
+
+        With rollback enabled, a :class:`SolverFailure` that escapes the
+        solver-level recovery ladder rolls the step back (rewind motion,
+        restore checkpointed fields, drop solver caches) and re-steps
+        with ``dt * dt_backoff``, up to ``max_step_retries`` times; the
+        backed-off dt applies to the retried step only.  An exhausted
+        retry budget re-raises the failure.
+        """
+        policy = self.config.recovery
+        checkpoint = None
+        if policy.enabled and policy.rollback:
+            checkpoint = self._checkpoint_fields()
+        dt0 = self.config.dt
+        retries = 0
+        try:
+            while True:
+                try:
+                    with self.tracer.span(
+                        "step", index=len(self.step_snapshots)
+                    ):
+                        self._step_body()
+                    break
+                except SolverFailure as failure:
+                    if (
+                        checkpoint is None
+                        or retries >= policy.max_step_retries
+                    ):
+                        raise
+                    retries += 1
+                    self._rollback(checkpoint, failure, retries)
+        finally:
+            self.config.dt = dt0
         self.step_snapshots.append(collect_phase_aggregates(self.world))
 
     def _step_body(self) -> None:
@@ -301,6 +450,7 @@ class NaluWindSimulation:
         for k in range(cfg.picard_iterations):
             with self.tracer.span("picard", index=k):
                 self.picard_iteration()
+        self._guard_fields()
         # Mass-conservation diagnostic on free pressure rows (interior
         # edge fluxes plus open boundary faces).
         div = np.zeros(self.comp.n)
@@ -336,6 +486,7 @@ class NaluWindSimulation:
             peak_alloc_bytes=self.world.ops.peak_alloc(),
             wall_times=self.timers.snapshot(),
             divergence_norms=list(self.divergence_norms),
+            recovery=self._recovery_summary(),
         )
         report.telemetry = collect_run_telemetry(self, report)
         return report

@@ -85,8 +85,11 @@ class CG:
         while rnorm > target and it < self.max_iters:
             Ap = A.matvec(p)
             pAp = p.dot(Ap)
-            if pAp <= 0.0:
-                break  # lost positive definiteness (semi-definite mode)
+            if not np.isfinite(pAp) or pAp <= 0.0:
+                # Lost positive definiteness (semi-definite mode) or a
+                # poisoned operand; NaN compares False against 0, so the
+                # finiteness check must be explicit.
+                break
             alpha = rz / pAp
             x.axpy(alpha, p)
             r.axpy(-alpha, Ap)

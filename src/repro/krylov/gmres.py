@@ -100,7 +100,14 @@ class GMRES:
             beta = r.norm()
             if self.record_history:
                 history.append(beta / bnorm)
-            if beta <= target or total_iters >= self.max_iters:
+            # A non-finite residual cannot improve from here (every inner
+            # product downstream is poisoned); return it for the guards
+            # to classify instead of spinning NaN arithmetic to max_iters.
+            if (
+                beta <= target
+                or total_iters >= self.max_iters
+                or not np.isfinite(beta)
+            ):
                 return KrylovResult(
                     x=x,
                     iterations=total_iters,
@@ -128,6 +135,7 @@ class GMRES:
             sn = np.zeros(m)
 
             k = 0
+            breakdown = False
             for j in range(m):
                 z = self._precond(b.like(V[:, j].copy()))
                 Z.append(z.data.copy())
@@ -145,8 +153,14 @@ class GMRES:
                     H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
                     H[i, j] = t
                 denom = np.hypot(H[j, j], H[j + 1, j])
-                if denom == 0.0:
-                    k = j + 1
+                if denom == 0.0 or not np.isfinite(denom):
+                    # Givens breakdown: the rotated column is zero (or
+                    # poisoned), so H[j, j] stays 0 and including column j
+                    # would divide by zero in the back-substitution below.
+                    # Discard the degenerate column (k = j, not j + 1) and
+                    # leave the cycle.
+                    k = j
+                    breakdown = True
                     break
                 cs[j] = H[j, j] / denom
                 sn[j] = H[j + 1, j] / denom
@@ -184,7 +198,11 @@ class GMRES:
                     )
             for rr in range(world.size):
                 world.ops.record_alloc(rr, -basis_per_rank)
-            if total_iters >= self.max_iters:
+            # On breakdown the restarted cycle would rebuild the identical
+            # degenerate Krylov space (the update above already used every
+            # healthy column), so return the true residual instead of
+            # looping forever.
+            if breakdown or total_iters >= self.max_iters:
                 r = A.residual(b, x)
                 beta = r.norm()
                 if self.record_history:

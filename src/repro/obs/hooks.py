@@ -12,7 +12,13 @@ through it —
 * ``"amg_refresh"`` — after every numeric-only hierarchy refresh
   (``stats=AMGSetupStats, hierarchy=AMGHierarchy``);
 * ``"exchange"`` — on world-level communication
-  (``kind=str, phase=str`` plus kind-specific sizes).
+  (``kind=str, phase=str`` plus kind-specific sizes);
+* ``"solver_failure"`` — when a guard or convergence check fails
+  (``equation=str, kind=str, failure=SolverFailure``);
+* ``"recovery"`` — after every recovery attempt, solver ladder rung or
+  simulation-level rollback (the flattened
+  :class:`~repro.resilience.policy.RecoveryEvent` fields:
+  ``equation, kind, action, attempt, success, detail``).
 
 Emission is a no-op (one dict lookup) when nothing subscribes, so the
 hooks cost nothing on the hot path by default.

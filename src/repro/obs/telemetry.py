@@ -106,6 +106,11 @@ class RunTelemetry:
     amg_setups: list[dict[str, Any]] = field(default_factory=list)
     #: MetricsRegistry snapshot (counters / gauges / histograms).
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Recovery summary (``{}`` for a clean run; see
+    #: :func:`repro.resilience.policy.summarize_events`).  Additive field:
+    #: documents without it load as clean runs, so the schema tag stays
+    #: ``repro.telemetry/1``.
+    resilience: dict[str, Any] = field(default_factory=dict)
     divergence_norms: list[float] = field(default_factory=list)
     peak_alloc_bytes: float = 0.0
 
@@ -157,9 +162,7 @@ def _traffic_section(traffic: Any, nranks: int) -> dict[str, Any]:
     """
     per_rank = traffic.rank_totals()
     return {
-        "total_messages": sum(
-            d["messages"] for d in per_rank.values()
-        ),
+        "total_messages": traffic.message_count(),
         "total_message_bytes": traffic.message_bytes(),
         "total_collectives": traffic.collective_count(),
         "total_collective_bytes": traffic.collective_bytes(),
@@ -222,6 +225,12 @@ def collect_run_telemetry(sim: Any, report: Any = None) -> RunTelemetry:
     world.traffic.publish_metrics(world.metrics)
     world.ops.publish_metrics(world.metrics)
 
+    if report is not None and getattr(report, "recovery", None):
+        resilience = dict(report.recovery)
+    else:
+        summarize = getattr(sim, "_recovery_summary", None)
+        resilience = dict(summarize()) if summarize is not None else {}
+
     snap = timers.snapshot(counts=True)
     n_steps = (
         report.n_steps if report is not None else len(sim.step_snapshots)
@@ -257,6 +266,7 @@ def collect_run_telemetry(sim: Any, report: Any = None) -> RunTelemetry:
         },
         amg_setups=[s.to_dict() for s in sim.amg_setups],
         metrics=world.metrics.as_dict(),
+        resilience=resilience,
         divergence_norms=divergence,
         peak_alloc_bytes=float(world.ops.peak_alloc()),
     )

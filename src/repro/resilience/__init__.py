@@ -1,0 +1,49 @@
+"""Resilience subsystem: guards, recovery policies, fault injection.
+
+Three layers turn solver failure from silent corruption into a
+first-class, recoverable event:
+
+* :mod:`~repro.resilience.guards` — NaN/Inf validation of Krylov
+  iterates and solution fields, raising a structured
+  :class:`SolverFailure`;
+* :mod:`~repro.resilience.policy` — the configurable escalation ladder
+  (:class:`RecoveryPolicy`) and event/summary types;
+* :mod:`~repro.resilience.injection` — seeded deterministic
+  :class:`FaultInjector` so recovery is exercised in tests, not trusted.
+
+See ``docs/resilience.md`` for the failure taxonomy and config knobs.
+"""
+
+from repro.resilience.guards import (
+    FAILURE_KINDS,
+    SolverFailure,
+    iterate_is_finite,
+    operands_are_finite,
+    validate_fields,
+    validate_iterate,
+)
+from repro.resilience.injection import FAULT_KINDS, FaultInjector, FaultSpec
+from repro.resilience.policy import (
+    LADDER_ACTIONS,
+    RECOVERY_ACTIONS,
+    RecoveryEvent,
+    RecoveryPolicy,
+    summarize_events,
+)
+
+__all__ = [
+    "FAILURE_KINDS",
+    "FAULT_KINDS",
+    "LADDER_ACTIONS",
+    "RECOVERY_ACTIONS",
+    "FaultInjector",
+    "FaultSpec",
+    "RecoveryEvent",
+    "RecoveryPolicy",
+    "SolverFailure",
+    "iterate_is_finite",
+    "operands_are_finite",
+    "summarize_events",
+    "validate_fields",
+    "validate_iterate",
+]

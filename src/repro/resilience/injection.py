@@ -1,0 +1,218 @@
+"""Seeded, deterministic fault injection for resilience testing.
+
+Recovery machinery that is never exercised is machinery that does not
+work.  The :class:`FaultInjector` hooks into the simulated world and
+corrupts it on purpose, at configured points, so every rung of the
+escalation ladder is driven end-to-end in tests instead of trusted on
+faith:
+
+* ``exchange_nan`` — poison one payload of the Nth ``alltoallv``
+  exchange with a NaN (a flaky NIC / bad DMA analogue);
+* ``matrix_corrupt`` — overwrite assembled operator values on one rank
+  (bit-flip / soft-error analogue), either with NaN or a large scale;
+* ``solver_stall`` — force the Nth Krylov solve of an equation to report
+  non-convergence (preconditioner-gone-stale analogue).
+
+All randomness flows from one seeded generator and opportunities are
+counted deterministically, so a faulted run replays bit-identically
+under the same seed — which is what lets tests assert the exact recovery
+path taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+#: Supported fault kinds.
+FAULT_KINDS = ("exchange_nan", "matrix_corrupt", "solver_stall")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        at: fire at the Nth (0-based) opportunity of this kind — the Nth
+            ``alltoallv`` call, the Nth matching assembly, or the Nth
+            matching solve.
+        equation: restrict ``matrix_corrupt``/``solver_stall`` to one
+            equation system (None = any).
+        mode: ``matrix_corrupt`` only — ``"nan"`` poisons entries,
+            ``"scale"`` multiplies them by ``magnitude``.
+        magnitude: scale factor for ``mode="scale"``.
+        entries: number of values to corrupt per firing.
+    """
+
+    kind: str
+    at: int = 0
+    equation: str | None = None
+    mode: str = "nan"
+    magnitude: float = 1e8
+    entries: int = 1
+
+    def validate(self) -> None:
+        """Raise on inconsistent settings."""
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; options {FAULT_KINDS}"
+            )
+        if self.mode not in ("nan", "scale"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.at < 0 or self.entries < 1:
+            raise ValueError("at must be >= 0 and entries >= 1")
+
+
+@dataclass
+class _SpecState:
+    """Per-spec opportunity bookkeeping."""
+
+    seen: int = 0
+    fired: bool = False
+
+
+class FaultInjector:
+    """Deterministic fault scheduler hooked into ``SimWorld``.
+
+    Args:
+        specs: the faults to schedule.
+        seed: generator seed; the same seed and event stream reproduce
+            the same corruptions exactly.
+
+    Attributes:
+        fired: record of every fault actually injected
+            (``{"kind", "phase", ...}`` dicts, in firing order).
+    """
+
+    def __init__(
+        self, specs: tuple[FaultSpec, ...] | list[FaultSpec] = (), seed: int = 0
+    ) -> None:
+        self.specs = tuple(specs)
+        for s in self.specs:
+            s.validate()
+        self.rng = np.random.default_rng(seed)
+        self._state = [_SpecState() for _ in self.specs]
+        self.fired: list[dict[str, Any]] = []
+
+    def exhausted(self) -> bool:
+        """True when every scheduled fault has fired."""
+        return all(st.fired for st in self._state)
+
+    def _match(self, kind: str, equation: str | None = None) -> FaultSpec | None:
+        """Count one opportunity; return the spec due to fire, if any."""
+        for spec, st in zip(self.specs, self._state):
+            if spec.kind != kind or st.fired:
+                continue
+            if spec.equation is not None and spec.equation != equation:
+                continue
+            st.seen += 1
+            if st.seen - 1 == spec.at:
+                st.fired = True
+                return spec
+        return None
+
+    # -- hooks ---------------------------------------------------------------
+
+    def on_alltoallv(self, recv: list[list[Any]], phase: str = "") -> None:
+        """Maybe NaN-corrupt one payload of an ``alltoallv`` result.
+
+        Payloads are replaced by corrupted *copies*: the originals are
+        often views into sender-side staging buffers, and a real network
+        fault corrupts the wire, not the sender's memory.
+        """
+        spec = self._match("exchange_nan")
+        if spec is None:
+            return
+        candidates = [
+            (dst, i)
+            for dst, payloads in enumerate(recv)
+            for i, p in enumerate(payloads)
+            if self._value_array(p) is not None
+        ]
+        if not candidates:
+            return
+        dst, i = candidates[int(self.rng.integers(len(candidates)))]
+        values = self._value_array(recv[dst][i]).copy()
+        idx = self.rng.integers(values.size, size=min(spec.entries, values.size))
+        values[idx] = np.nan
+        recv[dst][i] = self._replace_values(recv[dst][i], values)
+        self.fired.append(
+            {
+                "kind": "exchange_nan",
+                "phase": phase,
+                "dst": int(dst),
+                "entries": int(idx.size),
+            }
+        )
+
+    def on_matrix(self, A: Any, equation: str, phase: str = "") -> bool:
+        """Maybe corrupt one rank's assembled operator values.
+
+        Goes through ``ParCSRMatrix.update_rank_values`` so the global
+        CSR and the rank's diag/offd blocks stay consistent (the
+        corruption is in the *values*, not the storage layout).
+        """
+        spec = self._match("matrix_corrupt", equation)
+        if spec is None:
+            return False
+        rank = int(self.rng.integers(A.world.size))
+        s = A.A.indptr[A.row_offsets[rank]]
+        e = A.A.indptr[A.row_offsets[rank + 1]]
+        if e <= s:
+            return False
+        values = A.A.data[s:e].copy()
+        idx = self.rng.integers(values.size, size=min(spec.entries, values.size))
+        if spec.mode == "nan":
+            values[idx] = np.nan
+        else:
+            values[idx] *= spec.magnitude
+        A.update_rank_values(rank, values)
+        self.fired.append(
+            {
+                "kind": "matrix_corrupt",
+                "phase": phase,
+                "equation": equation,
+                "rank": rank,
+                "mode": spec.mode,
+                "entries": int(idx.size),
+            }
+        )
+        return True
+
+    def on_solve(self, equation: str, phase: str = "") -> bool:
+        """True when the current solve should be forced to stall."""
+        spec = self._match("solver_stall", equation)
+        if spec is None:
+            return False
+        self.fired.append(
+            {"kind": "solver_stall", "phase": phase, "equation": equation}
+        )
+        return True
+
+    # -- payload helpers -----------------------------------------------------
+
+    @staticmethod
+    def _value_array(payload: Any) -> np.ndarray | None:
+        """The float value array of a payload, or None when there is none.
+
+        Exchange payloads are either bare value arrays (plan replay /
+        halo data) or index-tuples whose last element holds the values
+        (cold assembly COO pieces).
+        """
+        if isinstance(payload, np.ndarray):
+            return payload if payload.dtype.kind == "f" and payload.size else None
+        if isinstance(payload, tuple) and payload:
+            last = payload[-1]
+            if isinstance(last, np.ndarray) and last.dtype.kind == "f":
+                return last if last.size else None
+        return None
+
+    @staticmethod
+    def _replace_values(payload: Any, values: np.ndarray) -> Any:
+        """Rebuild a payload around a corrupted value array."""
+        if isinstance(payload, np.ndarray):
+            return values
+        return payload[:-1] + (values,)

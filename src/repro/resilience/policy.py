@@ -1,0 +1,139 @@
+"""Recovery policy: the escalation ladder for failed solves.
+
+Production exascale stacks treat solver failure as a recoverable event,
+not a fatal one (PSCToolkit engineers its AMG-preconditioned Krylov
+stack explicitly for algorithmic robustness at scale; ExaWind's wind-farm
+runs cannot afford to discard hours of simulation over one bad solve).
+The policy here escalates through progressively more expensive actions:
+
+1. ``rebuild_precond`` — drop every cached setup product (assembly plan,
+   preconditioner, AMG hierarchy) and rebuild from the current operator;
+2. ``expand_krylov`` — retry with ``retry_scale``-times larger
+   restart/iteration budgets;
+3. ``fallback_method`` — switch to the alternate Krylov method through
+   :func:`~repro.krylov.api.make_krylov_solver`;
+4. ``rollback_restep`` (simulation level) — restore the checkpointed
+   field state, rewind the rotor, halve the timestep, and re-step.
+
+Each exhausted ladder raises a structured
+:class:`~repro.resilience.guards.SolverFailure` for the next layer up;
+exhausting the step retries surfaces it to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Solver-level ladder actions, in default escalation order.
+LADDER_ACTIONS = ("rebuild_precond", "expand_krylov", "fallback_method")
+
+#: All recovery actions, including the simulation-level one.
+RECOVERY_ACTIONS = LADDER_ACTIONS + ("rollback_restep",)
+
+
+@dataclass
+class RecoveryPolicy:
+    """Configurable solver-failure handling (``SimulationConfig.recovery``).
+
+    Attributes:
+        enabled: master switch for the recovery escalation.  Off, guard
+            failures raise :class:`~repro.resilience.guards.SolverFailure`
+            immediately (no retries) and non-convergence keeps the legacy
+            record-and-continue behavior.
+        guards: NaN/Inf validation of iterates (``EquationSystem.solve``)
+            and fields (``Simulation._step_body``).  Off restores the
+            pre-resilience behavior entirely.
+        recover_non_convergence: treat a converged=False solve as a
+            failure and run the ladder (nominal workloads always
+            converge, so this only fires on genuine trouble).
+        ladder: solver-level escalation order (subset/permutation of
+            :data:`LADDER_ACTIONS`).
+        retry_scale: ``restart``/``max_iters`` multiplier of the
+            ``expand_krylov`` attempt.
+        rollback: allow checkpoint-rollback + timestep backoff at the
+            simulation level once the solver-level ladder is exhausted.
+        dt_backoff: timestep multiplier per rollback (0 < x < 1).
+        max_step_retries: rollback re-steps allowed per time step before
+            the failure is surfaced to the caller.
+    """
+
+    enabled: bool = True
+    guards: bool = True
+    recover_non_convergence: bool = True
+    ladder: tuple[str, ...] = LADDER_ACTIONS
+    retry_scale: float = 2.0
+    rollback: bool = True
+    dt_backoff: float = 0.5
+    max_step_retries: int = 2
+
+    def validate(self) -> None:
+        """Raise on inconsistent settings."""
+        for action in self.ladder:
+            if action not in LADDER_ACTIONS:
+                raise ValueError(
+                    f"unknown recovery ladder action {action!r}; "
+                    f"options {list(LADDER_ACTIONS)}"
+                )
+        if not self.retry_scale >= 1.0:
+            raise ValueError("retry_scale must be >= 1")
+        if not (0.0 < self.dt_backoff < 1.0):
+            raise ValueError("dt_backoff must be in (0, 1)")
+        if self.max_step_retries < 0:
+            raise ValueError("max_step_retries must be >= 0")
+
+
+@dataclass
+class RecoveryEvent:
+    """One recovery attempt (solver ladder rung or rollback).
+
+    Attributes:
+        equation: equation whose solve failed ("fields" for field-guard
+            failures).
+        kind: failure kind that triggered the attempt.
+        action: recovery action taken (:data:`RECOVERY_ACTIONS`).
+        attempt: 1-based attempt index within the escalation.
+        success: whether the action produced a healthy result.
+        detail: free-form diagnostic (exception text of a crashed
+            attempt, the backed-off dt of a rollback, ...).
+    """
+
+    equation: str
+    kind: str
+    action: str
+    attempt: int
+    success: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "equation": self.equation,
+            "kind": self.kind,
+            "action": self.action,
+            "attempt": self.attempt,
+            "success": self.success,
+            "detail": self.detail,
+        }
+
+
+def summarize_events(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold a run's raw failure/recovery event list into a summary.
+
+    Returns ``{}`` for a clean run so reports stay unchanged on the
+    nominal path; otherwise ``{"failures", "recoveries", "events"}``
+    where ``recoveries`` counts successful actions by name.
+    """
+    if not events:
+        return {}
+    failures = sum(1 for e in events if e.get("event") == "solver_failure")
+    recoveries: dict[str, int] = {}
+    for e in events:
+        if e.get("event") == "recovery" and e.get("success"):
+            action = str(e.get("action", ""))
+            recoveries[action] = recoveries.get(action, 0) + 1
+    return {
+        "failures": failures,
+        "recoveries": recoveries,
+        "events": list(events),
+    }

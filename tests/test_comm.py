@@ -45,6 +45,36 @@ class TestTrafficLog:
         assert log.message_count() == 0
         assert log.phases() == []
 
+    def test_bulk_record_consistent_global_count(self):
+        """Bulk record_messages counts like `count` separate messages.
+
+        Regression: message_count(None) used to return len(messages),
+        disagreeing with the per-phase aggregates and the
+        comm.total_messages gauge after a bulk record.
+        """
+        log = TrafficLog()
+        log.record_messages(0, 1, count=5, nbytes=500, phase="setup")
+        log.record_message(0, 2, 10, "solve")
+        assert log.message_count() == 6
+        assert log.message_count("setup") == 5
+        assert log.message_count() == sum(
+            log.message_count(ph) for ph in log.phases()
+        )
+        # The detailed list keeps one summary record per bulk call.
+        assert len(log.messages) == 2
+        assert log.max_rank_messages("setup") == 5
+
+    def test_bulk_record_matches_total_messages_gauge(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        log = TrafficLog()
+        log.record_messages(1, 0, count=7, nbytes=70, phase="graph")
+        log.record_message(1, 2, 8, "graph")
+        reg = MetricsRegistry()
+        log.publish_metrics(reg)
+        assert reg.gauge("comm.total_messages").value == log.message_count()
+        assert log.message_count() == 8
+
 
 class TestSimWorld:
     def test_world_size_validation(self):
@@ -106,6 +136,29 @@ class TestSimWorld:
         recv = w.alltoallv(send)
         assert recv == [[], []]
         assert w.traffic.message_count() == 0
+
+    def test_alltoallv_self_payload_is_local_not_traffic(self):
+        """Diagonal src == dst payloads are delivered but not recorded.
+
+        A rank keeping its own data is a local copy, not a network
+        message (SimComm.send rejects self-sends for the same reason), so
+        per-phase counts and busiest-rank statistics must not include it.
+        """
+        w = SimWorld(2)
+        send = [
+            [np.array([1.0]), np.array([2.0])],
+            [None, np.array([3.0])],
+        ]
+        with w.phase_scope("exchange"):
+            recv = w.alltoallv(send)
+        # Delivery includes the diagonals, in sender-rank order.
+        assert recv[0][0][0] == 1.0
+        assert [p[0] for p in recv[1]] == [2.0, 3.0]
+        # Only the off-diagonal 0 -> 1 message hits the log.
+        assert w.traffic.message_count() == 1
+        assert w.traffic.message_count("exchange") == 1
+        assert w.traffic.max_rank_messages("exchange") == 1
+        assert w.traffic.max_rank_bytes("exchange") == 8
 
     def test_allreduce_and_allgather(self):
         w = SimWorld(4)

@@ -177,3 +177,54 @@ class TestGMRES:
             M1.new_vector(bdat.copy())
         )
         assert np.allclose(res.x.data, ref.x.data, atol=1e-8)
+
+
+class TestGivensBreakdown:
+    """Regression: the denom == 0 breakdown path used to keep the
+    degenerate column (k = j + 1 with H[j, j] = 0), so the back
+    substitution divided by zero and poisoned the solution with NaN."""
+
+    def test_breakdown_keeps_solution_finite(self):
+        # b lies in the operator's null direction: the first Arnoldi
+        # vector maps to zero, denom = hypot(0, 0) = 0 at j = 0.
+        A = sparse.csr_matrix(np.array([[0.0, 0.0], [0.0, 1.0]]))
+        w, M = par(A, nranks=1)
+        b = M.new_vector(np.array([1.0, 0.0]))
+        res = GMRES(M, tol=1e-10, max_iters=50).solve(b)
+        assert np.all(np.isfinite(res.x.data))
+        assert np.isfinite(res.residual_norm)
+        assert not res.converged
+        # The true residual is reported: x stayed at 0, so r = b.
+        assert res.residual_norm == pytest.approx(1.0)
+
+    def test_breakdown_terminates_instead_of_restart_looping(self):
+        # With no progress possible, a restart would rebuild the same
+        # degenerate Krylov space forever; the solve must return.
+        A = sparse.csr_matrix(np.zeros((3, 3)))
+        w, M = par(A, nranks=1)
+        b = M.new_vector(np.array([1.0, 2.0, 3.0]))
+        res = GMRES(M, tol=1e-12, max_iters=10_000).solve(b)
+        assert not res.converged
+        assert np.all(np.isfinite(res.x.data))
+
+    def test_nan_rhs_returns_promptly(self):
+        # A poisoned RHS cannot converge; the solver reports it without
+        # spinning NaN arithmetic through max_iters.
+        A = poisson2d(5)
+        w, M = par(A)
+        data = np.ones(25)
+        data[3] = np.nan
+        res = GMRES(M, max_iters=500).solve(M.new_vector(data))
+        assert not res.converged
+        assert res.iterations == 0
+
+    def test_nan_operand_stops_cg(self):
+        from repro.krylov import CG
+
+        A = poisson2d(5)
+        w, M = par(A)
+        data = np.ones(25)
+        data[3] = np.nan
+        res = CG(M, max_iters=500).solve(M.new_vector(data))
+        assert not res.converged
+        assert res.iterations <= 1

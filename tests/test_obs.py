@@ -503,6 +503,28 @@ class TestRegressionChecker:
         assert rc == 1
         assert "mean iterations drift" in capsys.readouterr().out
 
+    def test_resilience_drift_fails(self, tiny_run, tmp_path, capsys):
+        _sim, report = tiny_run
+        checker = _load_checker()
+        base = tmp_path / "base.json"
+        base.write_text(report.telemetry.to_json())
+        doc = report.telemetry.to_dict()
+        doc["metrics"]["counters"][
+            "resilience.failures{equation=momentum,kind=non_convergence}"
+        ] = 1
+        doc["resilience"] = {
+            "failures": 1,
+            "recoveries": {"rollback_restep": 1},
+            "events": [],
+        }
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps(doc))
+        rc = checker.main([str(base), str(cur)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "resilience counter" in out
+        assert "resilience summary changed" in out
+
     def test_phase_time_drift_fails(self, tiny_run, tmp_path, capsys):
         _sim, report = tiny_run
         checker = _load_checker()

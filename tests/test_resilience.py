@@ -1,0 +1,385 @@
+"""Tests for the resilience subsystem: guards, recovery, fault injection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import NaluWindSimulation
+from repro.krylov.api import KrylovResult
+from repro.linalg import ParVector
+from repro.comm import SimWorld
+from repro.resilience import (
+    FaultInjector,
+    FaultSpec,
+    RecoveryPolicy,
+    SolverFailure,
+    iterate_is_finite,
+    operands_are_finite,
+    summarize_events,
+    validate_fields,
+    validate_iterate,
+)
+
+
+def result_with(data, residual=1e-8, converged=True):
+    w = SimWorld(1)
+    x = ParVector(w, np.array([0, len(data)]), np.asarray(data, dtype=float))
+    return KrylovResult(
+        x=x,
+        iterations=3,
+        residual_norm=residual,
+        converged=converged,
+        residual_history=[1.0, 0.1],
+        method="gmres",
+    )
+
+
+class TestGuards:
+    def test_finite_iterate_passes(self):
+        validate_iterate(result_with([1.0, 2.0]), equation="momentum")
+
+    def test_nan_iterate_raises_with_context(self):
+        res = result_with([1.0, np.nan], residual=np.nan)
+        with pytest.raises(SolverFailure) as ei:
+            validate_iterate(res, equation="pressure", phase="pressure/solve")
+        f = ei.value
+        assert f.kind == "nonfinite_iterate"
+        assert f.equation == "pressure"
+        assert f.phase == "pressure/solve"
+        assert f.iterations == 3
+        assert f.residual_history == [1.0, 0.1]
+        d = f.to_dict()
+        assert d["equation"] == "pressure"
+        assert d["kind"] == "nonfinite_iterate"
+
+    def test_inf_residual_detected(self):
+        assert not iterate_is_finite(result_with([1.0], residual=np.inf))
+
+    def test_validate_fields_names_offender(self):
+        with pytest.raises(SolverFailure) as ei:
+            validate_fields(
+                {"velocity": np.ones(3), "pressure": np.array([1.0, np.inf])}
+            )
+        assert ei.value.equation == "pressure"
+        assert ei.value.kind == "nonfinite_fields"
+
+    def test_operands_are_finite(self):
+        from scipy import sparse
+        from repro.linalg import ParCSRMatrix
+
+        w = SimWorld(1)
+        A = ParCSRMatrix(
+            w, sparse.eye(3, format="csr"), np.array([0, 3])
+        )
+        b = ParVector(w, np.array([0, 3]), np.ones(3))
+        assert operands_are_finite(A, b)
+        b.data[1] = np.nan
+        assert not operands_are_finite(A, b)
+
+
+class TestPolicyAndSpecs:
+    def test_policy_defaults_valid(self):
+        RecoveryPolicy().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ladder": ("warp_core_eject",)},
+            {"retry_scale": 0.5},
+            {"dt_backoff": 0.0},
+            {"dt_backoff": 1.5},
+            {"max_step_retries": -1},
+        ],
+    )
+    def test_policy_rejects_bad_settings(self, kwargs):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(**kwargs).validate()
+
+    def test_fault_spec_validation(self):
+        FaultSpec(kind="exchange_nan").validate()
+        with pytest.raises(ValueError):
+            FaultSpec(kind="gamma_ray").validate()
+        with pytest.raises(ValueError):
+            FaultSpec(kind="matrix_corrupt", mode="wiggle").validate()
+        with pytest.raises(ValueError):
+            FaultSpec(kind="solver_stall", at=-1).validate()
+
+    def test_config_validates_recovery_and_faults(self):
+        cfg = SimulationConfig(recovery=RecoveryPolicy(dt_backoff=2.0))
+        with pytest.raises(ValueError):
+            cfg.validate()
+        cfg = SimulationConfig(faults=(FaultSpec(kind="nope"),))
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_summarize_events(self):
+        assert summarize_events([]) == {}
+        events = [
+            {"event": "solver_failure", "equation": "momentum"},
+            {"event": "recovery", "action": "rebuild_precond",
+             "success": False},
+            {"event": "recovery", "action": "rollback_restep",
+             "success": True},
+        ]
+        s = summarize_events(events)
+        assert s["failures"] == 1
+        assert s["recoveries"] == {"rollback_restep": 1}
+        assert len(s["events"]) == 3
+
+
+class TestFaultInjector:
+    def test_opportunity_counting(self):
+        inj = FaultInjector((FaultSpec(kind="solver_stall", at=2),))
+        assert not inj.on_solve("momentum")
+        assert not inj.on_solve("momentum")
+        assert inj.on_solve("momentum")
+        assert inj.exhausted()
+        # One-shot: never fires again.
+        assert not inj.on_solve("momentum")
+
+    def test_equation_filter(self):
+        inj = FaultInjector(
+            (FaultSpec(kind="solver_stall", at=0, equation="pressure"),)
+        )
+        assert not inj.on_solve("momentum")
+        assert inj.on_solve("pressure")
+
+    def test_exchange_corruption_replaces_copy(self):
+        inj = FaultInjector((FaultSpec(kind="exchange_nan", at=0),), seed=4)
+        original = np.ones(5)
+        recv = [[original], []]
+        inj.on_alltoallv(recv, phase="x")
+        # The sender-side buffer is untouched; the delivered copy is not.
+        assert np.all(np.isfinite(original))
+        assert not np.all(np.isfinite(recv[0][0]))
+        assert inj.fired[0]["kind"] == "exchange_nan"
+
+    def test_exchange_corruption_tuple_payload(self):
+        inj = FaultInjector((FaultSpec(kind="exchange_nan", at=0),), seed=4)
+        idx = np.arange(3)
+        vals = np.ones(3)
+        recv = [[(idx, idx, vals)]]
+        inj.on_alltoallv(recv)
+        i2, j2, v2 = recv[0][0]
+        assert i2 is idx and j2 is idx
+        assert np.all(np.isfinite(vals))
+        assert not np.all(np.isfinite(v2))
+
+    def test_deterministic_under_seed(self):
+        def corrupt():
+            inj = FaultInjector(
+                (FaultSpec(kind="exchange_nan", at=0, entries=2),), seed=11
+            )
+            recv = [[np.ones(8)], [np.ones(8)]]
+            inj.on_alltoallv(recv)
+            return [np.isnan(p).tolist() for row in recv for p in row]
+
+        assert corrupt() == corrupt()
+
+
+def fault_cfg(kind, at, equation=None, seed=7, **cfg_kw):
+    return SimulationConfig(
+        faults=(FaultSpec(kind=kind, at=at, equation=equation),),
+        fault_seed=seed,
+        **cfg_kw,
+    )
+
+
+class TestEndToEndRecovery:
+    def test_nominal_run_has_empty_recovery(self):
+        sim = NaluWindSimulation("turbine_tiny")
+        rep = sim.run(2)
+        assert rep.recovery == {}
+        assert rep.telemetry.resilience == {}
+        assert sim.world.metrics.counter_total("resilience.failures") == 0
+        assert sim.world.metrics.counter_total("resilience.recoveries") == 0
+
+    @pytest.mark.parametrize(
+        "kind,at,equation,expect_action",
+        [
+            ("exchange_nan", 40, None, "rollback_restep"),
+            ("matrix_corrupt", 3, "pressure", "rollback_restep"),
+            ("solver_stall", 5, "momentum", "rebuild_precond"),
+        ],
+    )
+    def test_fault_recovers_with_finite_fields(
+        self, kind, at, equation, expect_action
+    ):
+        sim = NaluWindSimulation("turbine_tiny", fault_cfg(kind, at, equation))
+        rep = sim.run(2)
+        assert sim.world.fault_injector.exhausted()
+        assert rep.n_steps == 2
+        assert np.all(np.isfinite(sim.velocity))
+        assert np.all(np.isfinite(sim.pressure_field))
+        assert np.all(np.isfinite(sim.scalar_field))
+        assert rep.recovery["failures"] >= 1
+        assert rep.recovery["recoveries"].get(expect_action, 0) >= 1
+        # Telemetry mirrors the report and the counters mirror the events.
+        assert rep.telemetry.resilience["recoveries"] == rep.recovery[
+            "recoveries"
+        ]
+        m = sim.world.metrics
+        assert m.counter_total("resilience.failures") == rep.recovery[
+            "failures"
+        ]
+        assert m.counter_total("resilience.recoveries") == sum(
+            rep.recovery["recoveries"].values()
+        )
+
+    def test_recovery_disabled_raises_structured_failure(self):
+        cfg = fault_cfg(
+            "exchange_nan", 40, recovery=RecoveryPolicy(enabled=False)
+        )
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        with pytest.raises(SolverFailure) as ei:
+            sim.run(2)
+        f = ei.value
+        assert f.kind in ("nonfinite_iterate", "nonfinite_operands")
+        assert f.equation
+        assert f.phase.endswith("/solve")
+        # The failure was still counted and published.
+        assert sim.world.metrics.counter_total("resilience.failures") == 1
+        assert any(
+            e["event"] == "solver_failure" for e in sim.recovery_events
+        )
+
+    def test_guards_off_restores_legacy_silent_behavior(self):
+        cfg = fault_cfg(
+            "exchange_nan",
+            40,
+            recovery=RecoveryPolicy(
+                enabled=False, guards=False, recover_non_convergence=False
+            ),
+        )
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        rep = sim.run(2)  # completes: nothing acts on the corruption
+        assert rep.recovery == {}
+        assert sim.world.metrics.counter_total("resilience.failures") == 0
+        # The poisoned solve is silently recorded as non-converged and
+        # the simulation marches on — exactly the legacy failure mode
+        # the guards exist to catch.
+        records = [r for eq in sim.systems for r in eq.solve_records]
+        assert any(
+            not r.converged or not np.isfinite(r.residual_norm)
+            for r in records
+        )
+
+    def test_rollback_budget_exhaustion_surfaces_failure(self):
+        cfg = fault_cfg(
+            "exchange_nan",
+            40,
+            recovery=RecoveryPolicy(max_step_retries=0),
+        )
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        with pytest.raises(SolverFailure):
+            sim.run(2)
+
+    def test_rollback_backs_off_dt_and_restores_it(self):
+        cfg = fault_cfg("exchange_nan", 40)
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        dt0 = cfg.dt
+        rep = sim.run(2)
+        assert cfg.dt == dt0
+        rollbacks = [
+            e
+            for e in rep.recovery["events"]
+            if e.get("action") == "rollback_restep"
+        ]
+        assert len(rollbacks) == 1
+        assert f"{dt0:.4g} -> {dt0 * 0.5:.4g}" in rollbacks[0]["detail"]
+
+    def test_deterministic_under_fixed_seed(self):
+        def one_run():
+            sim = NaluWindSimulation(
+                "turbine_tiny", fault_cfg("exchange_nan", 40)
+            )
+            rep = sim.run(2)
+            return (
+                json.dumps(rep.recovery, sort_keys=True),
+                sim.world.fault_injector.fired,
+                sim.velocity.copy(),
+                sim.pressure_field.copy(),
+            )
+
+        r1, f1, v1, p1 = one_run()
+        r2, f2, v2, p2 = one_run()
+        assert r1 == r2
+        assert f1 == f2
+        assert np.array_equal(v1, v2)
+        assert np.array_equal(p1, p2)
+
+    def test_ladder_subset_expand_krylov(self):
+        cfg = fault_cfg(
+            "solver_stall",
+            5,
+            equation="momentum",
+            recovery=RecoveryPolicy(ladder=("expand_krylov",)),
+        )
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        rep = sim.run(2)
+        assert rep.recovery["recoveries"] == {"expand_krylov": 1}
+
+    def test_hub_events_carry_recovery_fields(self):
+        sim = NaluWindSimulation(
+            "turbine_tiny", fault_cfg("solver_stall", 5, equation="momentum")
+        )
+        seen = []
+        sim.world.hub.subscribe("recovery", lambda **kw: seen.append(kw))
+        sim.run(2)
+        assert seen
+        ev = seen[0]
+        assert ev["equation"] == "momentum"
+        assert ev["kind"] == "non_convergence"
+        assert ev["action"] == "rebuild_precond"
+        assert ev["attempt"] == 1
+        assert ev["success"] is True
+
+
+class TestCacheInvalidation:
+    def test_reset_solver_caches_clears_and_repopulates(self):
+        sim = NaluWindSimulation("turbine_tiny")
+        sim.run(1)
+        m = sim.momentum
+        assert m._plan is not None and m._plan.matrix_ready
+        assert m._precond is not None
+        m.reset_solver_caches()
+        assert m._plan is None
+        assert m._precond is None
+        assert m._solves_since_setup == 0
+        sim.run(1)
+        assert m._plan is not None and m._plan.matrix_ready
+        assert m._precond is not None
+
+    def test_recovery_rebuild_invalidates_assembly_plan(self):
+        """The forced rebuild drops the assembly plan: the next momentum
+        assemble re-captures it (one extra plan rebuild vs nominal)."""
+        nominal = NaluWindSimulation("turbine_tiny")
+        nominal.run(2)
+        n_rebuilds = nominal.world.metrics.counter(
+            "assembly.plan_rebuilds", equation="momentum"
+        ).value
+
+        sim = NaluWindSimulation(
+            "turbine_tiny", fault_cfg("solver_stall", 5, equation="momentum")
+        )
+        rep = sim.run(2)
+        assert rep.recovery["recoveries"] == {"rebuild_precond": 1}
+        rebuilds = sim.world.metrics.counter(
+            "assembly.plan_rebuilds", equation="momentum"
+        ).value
+        assert rebuilds == n_rebuilds + 1
+
+    def test_recovery_rebuild_rebuilds_pressure_amg(self):
+        """A stalled pressure solve forces a fresh AMG hierarchy build."""
+        nominal = NaluWindSimulation("turbine_tiny")
+        nominal.run(2)
+        n_setups = len(nominal.amg_setups)
+
+        sim = NaluWindSimulation(
+            "turbine_tiny", fault_cfg("solver_stall", 2, equation="pressure")
+        )
+        rep = sim.run(2)
+        assert rep.recovery["recoveries"] == {"rebuild_precond": 1}
+        assert len(sim.amg_setups) == n_setups + 1
