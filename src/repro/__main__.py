@@ -10,6 +10,8 @@ Commands:
 * ``scaling`` — run a strong-scaling sweep and print the priced curves.
 * ``partition`` — compare RCB and multilevel decompositions (Figs. 4-5).
 * ``project`` — print the §6 exascale capability projection.
+* ``analyze`` — repro-lint (RL001-RL006) + kernel sanitizer (KS001-KS005)
+  over the source tree (see ``docs/static_analysis.md``).
 """
 
 from __future__ import annotations
@@ -244,6 +246,10 @@ def main(argv: list[str] | None = None) -> int:
 
     p_pj = sub.add_parser("project", help="exascale capability projection")
     p_pj.set_defaults(func=_cmd_project)
+
+    from repro.analysis.cli import add_analyze_parser
+
+    add_analyze_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,105 @@
+"""``python -m repro analyze`` — run repro-lint + the kernel sanitizer.
+
+Exit status is the gate contract: 0 when the tree is clean (after pragma
+and baseline suppression), 1 when findings remain — errors only by
+default, every finding under ``--strict``.  ``--format json`` emits the
+``repro.analysis/1`` document including the ``analysis.findings`` /
+``analysis.suppressed`` telemetry counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.analysis.findings import AnalysisReport, render_json, render_text
+from repro.analysis.lint import (
+    RULES,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+
+def add_analyze_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``analyze`` subcommand on the ``repro`` CLI."""
+    p = sub.add_parser(
+        "analyze",
+        help="static (repro-lint) + dynamic (sanitizer) analysis",
+        description=(
+            "Run the RL001-RL006 lint rules over the given paths and the "
+            "KS001-KS005 permuted-thread determinism checks over the "
+            "assembly kernels.  Rules: "
+            + "; ".join(f"{k}: {v}" for k, v in sorted(RULES.items()))
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too (CI gate mode)",
+    )
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output rendering",
+    )
+    p.add_argument(
+        "--baseline",
+        default="",
+        help="baseline JSON of grandfathered findings to ignore",
+    )
+    p.add_argument(
+        "--write-baseline",
+        default="",
+        metavar="PATH",
+        help="write current findings as a new baseline and exit 0",
+    )
+    p.add_argument(
+        "--no-dynamic",
+        action="store_true",
+        help="skip the sanitizer/determinism replay (lint only)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the dynamic replay harness",
+    )
+    p.set_defaults(func=cmd_analyze)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Entry point for ``python -m repro analyze``."""
+    report = AnalysisReport()
+    paths = [p for p in args.paths if os.path.exists(p)]
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        for p in missing:
+            print(f"warning: path {p!r} does not exist, skipping")
+    report.extend(lint_paths(paths))
+    if args.baseline:
+        apply_baseline(report, load_baseline(args.baseline))
+    if args.write_baseline:
+        write_baseline(args.write_baseline, report)
+        print(
+            f"wrote {len(report.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if not args.no_dynamic:
+        from repro.analysis.determinism import run_dynamic_checks
+
+        report.extend(run_dynamic_checks(seed=args.seed))
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(strict=args.strict)

@@ -1,0 +1,439 @@
+"""Determinism harness: permuted simulated-thread replay of the kernels.
+
+The paper's contract (§3.2-§3.3) has two halves:
+
+* ``"atomic"`` scatter mode is *declared* nondeterministic: the commit
+  order of device atomics depends on warp scheduling, so run-to-run
+  results differ — but only within the floating-point reassociation
+  bound of each slot's contribution set;
+* the ``"deterministic"``/``"compensated"`` modes and the Algorithm 1-2
+  ``stable_sort_by_key`` + ``reduce_by_key`` pipeline (including the
+  pattern-frozen :class:`~repro.assembly.plan.AssemblyPlan` replay) must
+  be **bitwise identical** regardless of thread schedule, because the
+  summation order is fixed by the canonical contribution list, not by
+  which thread runs first.
+
+This harness makes both halves executable: it replays the Stage-2 scatter
+kernels and the Stage-3 assembly under permuted simulated-thread
+iteration orders (a :class:`ThreadSchedule` injected into
+:class:`~repro.assembly.local.LocalAssembler`) and checks bitwise
+identity — or, for atomic mode, deviation against the documented bound
+
+    ``|sum_pi(v) - sum_id(v)| <= 2 (c_s - 1) eps sum_s |v|``
+
+per slot ``s`` with ``c_s`` contributions (first-order reassociation
+error), with a safety factor of :data:`ATOMIC_BOUND_SAFETY`.
+
+Dynamic findings use ``KSxxx`` rule ids:
+
+======  ==============================================================
+KS001   conflicting raw write (from :mod:`repro.analysis.sanitizer`)
+KS002   unique-contract violation (from the sanitizer)
+KS003   deterministic/compensated replay (or Algorithm 1/2 path) not
+        bitwise identical under thread permutation
+KS004   atomic-mode deviation exceeds the documented bound
+KS005   SimWorld phase stack unbalanced after a replay
+======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.sanitizer import KernelSanitizer
+from repro.assembly.global_assembly import (
+    VARIANTS,
+    assemble_global_matrix,
+    assemble_global_vector,
+)
+from repro.assembly.graph import EquationGraph, GraphSpec
+from repro.assembly.local import (
+    SCATTER_MODES,
+    LocalAssembler,
+    _segmented_kahan,
+)
+from repro.assembly.plan import AssemblyPlan
+from repro.comm.simcomm import SimWorld
+from repro.partition import build_numbering
+
+#: Safety factor on the first-order reassociation bound (covers the
+#: higher-order terms the first-order analysis drops).
+ATOMIC_BOUND_SAFETY = 4.0
+
+
+class ThreadSchedule:
+    """Seeded simulated-thread iteration order for scatter launches.
+
+    ``order(n)`` returns the commit order of ``n`` concurrent threads.
+    One instance is one schedule stream: launches draw successive
+    permutations, so two runs built with the same seed replay the same
+    schedule and runs with different seeds model different executions.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def order(self, n: int) -> np.ndarray:
+        """Commit order for a launch of ``n`` threads."""
+        return self.rng.permutation(n)
+
+
+def replay_scatter(
+    n: int,
+    slots: np.ndarray,
+    vals: np.ndarray,
+    mode: str,
+    order: np.ndarray,
+    sort_kind: str = "stable",
+) -> np.ndarray:
+    """Replay one scatter launch under a given thread commit order.
+
+    Mirrors :meth:`LocalAssembler._scatter` semantics:
+
+    * ``atomic`` — contributions commit in ``order`` (each add
+      indivisible): result depends on the schedule;
+    * ``deterministic``/``compensated`` — the kernel stably sorts the
+      *canonical* contribution list by destination, so the schedule only
+      permutes which segment a thread reduces, never the within-segment
+      order: the result is schedule-invariant.
+
+    ``sort_kind="unstable"`` models the bug class the harness exists to
+    catch: an implementation that sorts the arrival-ordered list (or uses
+    an unstable sort, whose intra-key order is arrival-dependent), which
+    silently re-introduces schedule dependence into the "deterministic"
+    modes.
+    """
+    if mode not in SCATTER_MODES:
+        raise ValueError(f"unknown mode {mode!r}; options {SCATTER_MODES}")
+    if sort_kind not in ("stable", "unstable"):
+        raise ValueError("sort_kind must be 'stable' or 'unstable'")
+    target = np.zeros(n)
+    if mode == "atomic":
+        np.add.at(target, slots[order], vals[order])
+        return target
+    if sort_kind == "stable":
+        s, v = slots, vals
+    else:
+        s, v = slots[order], vals[order]
+    if mode == "compensated":
+        _segmented_kahan(target, s, v)
+        return target
+    perm = np.argsort(s, kind="stable")
+    s_sorted = s[perm]
+    v_sorted = v[perm]
+    starts = np.flatnonzero(np.r_[True, s_sorted[1:] != s_sorted[:-1]])
+    np.add.at(target, s_sorted[starts], np.add.reduceat(v_sorted, starts))
+    return target
+
+
+def atomic_deviation_bound(
+    n: int, slots: np.ndarray, vals: np.ndarray
+) -> np.ndarray:
+    """Per-slot documented bound on atomic reorder deviation.
+
+    ``2 (c_s - 1) eps sum_s |v|`` — the first-order worst case of
+    summing ``c_s`` terms in two different orders.
+    """
+    counts = np.zeros(n)
+    np.add.at(counts, slots, 1.0)
+    abs_sum = np.zeros(n)
+    np.add.at(abs_sum, slots, np.abs(vals))
+    eps = np.finfo(np.float64).eps
+    return 2.0 * np.maximum(counts - 1.0, 0.0) * eps * abs_sum
+
+
+def _mk_finding(rule: str, kernel: str, message: str) -> Finding:
+    return Finding(
+        rule=rule,
+        path="",
+        line=0,
+        severity="error",
+        kernel=kernel,
+        message=message,
+    )
+
+
+def check_scatter_modes(
+    seed: int = 0,
+    n: int = 48,
+    m: int = 420,
+    n_orders: int = 4,
+    sort_kind: str = "stable",
+    modes: tuple[str, ...] = SCATTER_MODES,
+) -> AnalysisReport:
+    """Permuted-order replay of the scatter kernel over all modes.
+
+    Contributions mix magnitudes over ~10 decades so floating-point
+    reassociation is actually visible: a schedule-dependent summation
+    order cannot hide behind exactly-representable values.
+    """
+    report = AnalysisReport()
+    rng = np.random.default_rng(seed)
+    slots = rng.integers(0, n, size=m)
+    vals = rng.standard_normal(m) * 10.0 ** rng.integers(-9, 1, size=m)
+    identity = np.arange(m)
+    orders = [rng.permutation(m) for _ in range(n_orders)]
+    bound = atomic_deviation_bound(n, slots, vals)
+    max_dev = 0.0
+    max_bound = float(
+        (ATOMIC_BOUND_SAFETY * bound).max() if m else 0.0
+    )
+    checks = 0
+    for mode in modes:
+        ref = replay_scatter(n, slots, vals, mode, identity, sort_kind)
+        for order in orders:
+            out = replay_scatter(n, slots, vals, mode, order, sort_kind)
+            checks += 1
+            if mode == "atomic":
+                dev = np.abs(out - ref)
+                max_dev = max(max_dev, float(dev.max()))
+                if np.any(dev > ATOMIC_BOUND_SAFETY * bound):
+                    report.findings.append(
+                        _mk_finding(
+                            "KS004",
+                            f"scatter:{mode}",
+                            f"atomic reorder deviation {dev.max():.3e} "
+                            "exceeds the documented reassociation bound "
+                            f"{(ATOMIC_BOUND_SAFETY * bound).max():.3e}",
+                        )
+                    )
+                    break
+            elif not np.array_equal(out, ref):
+                report.findings.append(
+                    _mk_finding(
+                        "KS003",
+                        f"scatter:{mode}",
+                        f"{mode} scatter is not bitwise invariant under "
+                        "thread permutation: the reduction order leaked "
+                        "schedule dependence (unstable sort or "
+                        "arrival-ordered input)",
+                    )
+                )
+                break
+    report.dynamic_stats["scatter_checks"] = checks
+    report.dynamic_stats["atomic_max_deviation"] = max_dev
+    report.dynamic_stats["atomic_bound"] = max_bound
+    return report
+
+
+# -- end-to-end assembly pipeline replay -------------------------------------
+
+
+def _build_problem(seed: int, n: int, E: int, nranks: int, ncons: int):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(E, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    cons = rng.choice(n, size=ncons, replace=False)
+    parts = rng.integers(0, nranks, size=n)
+    num = build_numbering(parts, nranks)
+    return edges, cons, num
+
+
+def _fill(
+    world: SimWorld,
+    graph: EquationGraph,
+    num,
+    edges: np.ndarray,
+    cons: np.ndarray,
+    value_seed: int,
+    mode: str,
+    schedule: ThreadSchedule | None = None,
+    sanitizer: KernelSanitizer | None = None,
+    transform=None,
+):
+    """One Stage-2 fill; ``transform`` maps each contribution array
+    (``np.abs`` / ``np.ones_like`` turn the fill into the per-slot
+    absolute-sum / write-count shadow references for the atomic bound)."""
+    t = transform if transform is not None else (lambda x: x)
+    rng = np.random.default_rng(value_seed)
+    E = edges.shape[0]
+    ge = rng.standard_normal(E) * 10.0 ** rng.integers(-8, 1, size=E)
+    la = LocalAssembler(world, graph, mode=mode)
+    la.schedule = schedule
+    la.sanitizer = sanitizer
+    la.add_edge_matrix(t(np.stack([ge, -ge, -ge, ge], axis=1)))
+    la.add_diag(t(rng.random(graph.n) + 1.0))
+    la.add_node_rhs(t(rng.standard_normal(graph.n)))
+    la.add_edge_rhs(t(rng.standard_normal((E, 2))))
+    la.set_constraint_rhs(
+        num.old_to_new[cons], t(rng.standard_normal(cons.size))
+    )
+    return la
+
+
+def check_assembly_pipeline(
+    seed: int = 0,
+    n: int = 60,
+    E: int = 160,
+    nranks: int = 3,
+    ncons: int = 4,
+    n_orders: int = 3,
+    variants: tuple[str, ...] = VARIANTS,
+) -> AnalysisReport:
+    """Replay the real Stage-2/Stage-3 pipeline under permuted schedules.
+
+    Checks, per the acceptance contract:
+
+    * Stage-2 ``deterministic``/``compensated`` fills are bitwise
+      identical across thread schedules (KS003);
+    * Stage-2 ``atomic`` fills deviate only within the documented bound
+      (KS004), measured against shadow write-count / absolute-sum fills;
+    * Algorithm 1/2 cold assembly is run-to-run deterministic and the
+      :class:`AssemblyPlan` fast path replays it bitwise for every
+      variant (KS003);
+    * the world's phase stack is balanced afterwards (KS005).
+    """
+    report = AnalysisReport()
+    edges, cons, num = _build_problem(seed, n, E, nranks, ncons)
+    value_seed = seed + 101
+
+    def graph_for(world: SimWorld) -> EquationGraph:
+        return EquationGraph(
+            world, num, GraphSpec(n=n, edges=edges, constraint_rows=cons)
+        )
+
+    sanitizer = KernelSanitizer()
+    world = SimWorld(nranks)
+    graph = graph_for(world)
+
+    # Shadow references for the atomic bound: per-slot write counts and
+    # absolute contribution sums (deterministic fills of ones / abs).
+    counts = _fill(
+        world, graph, num, edges, cons, value_seed, "deterministic",
+        transform=np.ones_like,
+    )
+    abs_sums = _fill(
+        world, graph, num, edges, cons, value_seed, "deterministic",
+        transform=np.abs,
+    )
+    eps = np.finfo(np.float64).eps
+    bound = (
+        ATOMIC_BOUND_SAFETY
+        * 2.0
+        * np.maximum(counts.values - 1.0, 0.0)
+        * eps
+        * abs_sums.values
+    )
+
+    max_dev = 0.0
+    for mode in SCATTER_MODES:
+        ref = _fill(
+            world, graph, num, edges, cons, value_seed, mode,
+            sanitizer=sanitizer,
+        )
+        for k in range(1, n_orders + 1):
+            out = _fill(
+                world, graph, num, edges, cons, value_seed, mode,
+                schedule=ThreadSchedule(seed + 7 * k),
+            )
+            same = (
+                np.array_equal(out.values, ref.values)
+                and np.array_equal(out.rhs_owned, ref.rhs_owned)
+                and np.array_equal(out.rhs_shared, ref.rhs_shared)
+            )
+            if mode == "atomic":
+                dev = np.abs(out.values - ref.values)
+                max_dev = max(max_dev, float(dev.max()))
+                if np.any(dev > bound):
+                    report.findings.append(
+                        _mk_finding(
+                            "KS004",
+                            "assemble_edge:atomic",
+                            "atomic Stage-2 fill deviates "
+                            f"{dev.max():.3e} under thread permutation, "
+                            "beyond the documented reassociation bound "
+                            f"{bound.max():.3e}",
+                        )
+                    )
+                    break
+            elif not same:
+                report.findings.append(
+                    _mk_finding(
+                        "KS003",
+                        f"assemble_edge:{mode}",
+                        f"Stage-2 {mode} fill is not bitwise invariant "
+                        "under thread permutation",
+                    )
+                )
+                break
+            out.release()
+        ref.release()
+
+    # Algorithm 1/2: cold determinism + AssemblyPlan replay, per variant.
+    for variant in variants:
+        local = _fill(
+            world, graph, num, edges, cons, value_seed, "deterministic"
+        ).finalize()
+        plan = AssemblyPlan(num, variant, graph=graph, name="san")
+        am_cold = assemble_global_matrix(
+            world, num, local, variant, plan=plan
+        )
+        rhs_cold = assemble_global_vector(world, num, local, variant)
+        am_again = assemble_global_matrix(world, num, local, variant)
+        if not (
+            np.array_equal(am_cold.matrix.A.data, am_again.matrix.A.data)
+            and np.array_equal(
+                am_cold.matrix.A.indices, am_again.matrix.A.indices
+            )
+        ):
+            report.findings.append(
+                _mk_finding(
+                    "KS003",
+                    f"alg1_cold:{variant}",
+                    f"Algorithm 1 ({variant}) cold assembly is not "
+                    "run-to-run deterministic on identical input",
+                )
+            )
+        # Fresh values on the frozen pattern: fast path vs cold path.
+        local2 = _fill(
+            world, graph, num, edges, cons, value_seed + 1, "deterministic"
+        ).finalize()
+        am_fast = assemble_global_matrix(
+            world, num, local2, variant, plan=plan
+        )
+        am_ref = assemble_global_matrix(world, num, local2, variant)
+        if not np.array_equal(am_fast.matrix.A.data, am_ref.matrix.A.data):
+            report.findings.append(
+                _mk_finding(
+                    "KS003",
+                    f"alg1_replay:{variant}",
+                    f"AssemblyPlan matrix replay ({variant}) is not "
+                    "bitwise identical to a cold Algorithm 1 assembly",
+                )
+            )
+        assemble_global_vector(world, num, local, variant, plan=plan)
+        rhs_fast = assemble_global_vector(
+            world, num, local, variant, plan=plan
+        )
+        if not np.array_equal(rhs_fast.data, rhs_cold.data):
+            report.findings.append(
+                _mk_finding(
+                    "KS003",
+                    f"alg2_replay:{variant}",
+                    f"AssemblyPlan vector replay ({variant}) is not "
+                    "bitwise identical to a cold Algorithm 2 assembly",
+                )
+            )
+
+    try:
+        world.assert_phase_balanced()
+    except RuntimeError as exc:
+        report.findings.append(
+            _mk_finding("KS005", "phase_stack", str(exc))
+        )
+
+    report.findings.extend(sanitizer.findings)
+    report.dynamic_stats["pipeline_atomic_max_deviation"] = max_dev
+    report.dynamic_stats["pipeline_atomic_bound"] = float(bound.max())
+    report.dynamic_stats["sanitizer"] = sanitizer.summary()
+    return report
+
+
+def run_dynamic_checks(seed: int = 0) -> AnalysisReport:
+    """All dynamic sanitizer/determinism checks (the ``analyze`` default)."""
+    report = check_scatter_modes(seed=seed)
+    report.extend(check_assembly_pipeline(seed=seed))
+    report.dynamic_stats["modes"] = list(SCATTER_MODES)
+    return report

@@ -1,0 +1,592 @@
+"""repro-lint: AST-based determinism/accounting rules for this repo.
+
+The paper's assembly/solver stack rests on a correctness contract that
+plain Python cannot enforce by itself (§3.2-§3.3):
+
+* order-nondeterministic accumulation is allowed **only** where it is
+  declared (the ``"atomic"`` scatter mode); everything rank-visible must
+  be bitwise reproducible, which in NumPy terms means *stable* sorts and
+  fixed-order reductions;
+* every device-kernel-shaped bulk operation must be cost-accounted
+  through :class:`~repro.perf.opcounts.OpRecorder`, or the machine model
+  prices a run that never happened;
+* construction/bookkeeping APIs with invariants (``make_smoother``,
+  ``SimWorld.phase_scope``) must be used through their sanctioned entry
+  points.
+
+Each rule below statically checks one clause of that contract.  Findings
+can be silenced inline with ``# repro: allow(RLxxx[, RLyyy])`` on the
+offending line (or the line above), or grandfathered through a baseline
+file (see :func:`load_baseline`); both are counted into the
+``analysis.suppressed`` telemetry counter so debt stays visible.
+
+Rules
+-----
+
+======  ==================================================================
+RL001   unstable sort: ``np.sort``/``np.argsort`` (or the ndarray method
+        forms) without ``kind="stable"`` — tie order then depends on the
+        introsort implementation, i.e. on NumPy version and platform.
+RL002   raw scatter-write: ``np.add.at``/``np.subtract.at`` in the
+        device-kernel packages outside the registered scatter wrappers
+        (:data:`REGISTERED_SCATTER_QUALNAMES`) — bypasses the
+        atomic/deterministic/compensated mode contract and its cost
+        accounting.  (``np.maximum.at``/``minimum.at`` are exempt: they
+        are exactly associative/commutative, so order cannot matter.)
+RL003   unseeded RNG: ``default_rng()`` with no seed — every stochastic
+        choice in the stack must replay bit-identically.
+RL004   direct smoother construction: naming a smoother class instead of
+        :func:`repro.smoothers.make_smoother` (the static promotion of
+        the runtime ``DeprecationWarning``).
+RL005   unaccounted kernel: a function in the device-kernel packages
+        performs bulk data motion (sort / scatter / segmented reduce)
+        with no recording call reachable in its intra-module call
+        neighborhood (``*.ops.record``/``record_alloc`` or a
+        ``record_*``/``_record*`` helper).
+RL006   unbalanced phase push/pop: ``phase_scope`` used outside a
+        ``with`` statement, or direct ``_phase_stack``/``_pop_phase``
+        manipulation outside ``SimWorld`` itself.
+======  ==================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import AnalysisReport, Finding
+
+#: Rule catalog (id -> one-line description, used by the CLI and docs).
+RULES: dict[str, str] = {
+    "RL001": "unstable sort (missing kind=\"stable\") in rank-visible code",
+    "RL002": "raw scatter-write outside the registered kernel wrappers",
+    "RL003": "unseeded default_rng() breaks replay determinism",
+    "RL004": "direct smoother construction bypassing make_smoother",
+    "RL005": "bulk kernel with no reachable world.ops.record accounting",
+    "RL006": "unbalanced/raw SimWorld phase push/pop",
+}
+
+#: Packages whose modules are treated as device-kernel code (RL002/RL005).
+KERNEL_PACKAGES = ("assembly", "linalg", "amg", "smoothers")
+
+#: Qualified function names allowed to issue raw scatter-writes (RL002):
+#: the mode-aware Stage-2 accumulation wrappers in ``repro.assembly.local``.
+REGISTERED_SCATTER_QUALNAMES = frozenset(
+    {"LocalAssembler._scatter", "_segmented_kahan"}
+)
+
+#: Sort kinds NumPy guarantees to be stable.
+_STABLE_KINDS = frozenset({"stable", "mergesort"})
+
+#: ufuncs whose ``.at`` form is a raw scatter-write (RL002).  ``maximum``/
+#: ``minimum`` are excluded: exactly associative and commutative, so the
+#: commit order provably cannot change the result.
+_SCATTER_UFUNCS = frozenset({"add", "subtract"})
+
+#: np.<name> calls that constitute bulk device-kernel data motion (RL005).
+_BULK_NP_CALLS = frozenset({"sort", "argsort", "lexsort"})
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)\s*\)"
+)
+
+_FALLBACK_SMOOTHER_CLASSES = (
+    "JacobiSmoother",
+    "L1JacobiSmoother",
+    "HybridGS",
+    "TwoStageGS",
+    "ChebyshevSmoother",
+)
+
+
+def _smoother_class_names() -> tuple[str, ...]:
+    """Class names RL004 flags, imported from the factory when possible."""
+    try:
+        from repro.smoothers.factory import SMOOTHER_CLASS_NAMES
+
+        return tuple(SMOOTHER_CLASS_NAMES)
+    except Exception:  # pragma: no cover - factory always importable here
+        return _FALLBACK_SMOOTHER_CLASSES
+
+
+def _terminal_name(func: ast.expr) -> str | None:
+    """Rightmost identifier of a call target (``a.b.c()`` -> ``c``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_numpy_name(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+
+
+def _kind_is_stable(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "kind" and isinstance(kw.value, ast.Constant):
+            return kw.value.value in _STABLE_KINDS
+    return False
+
+
+def _has_keyword(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def _path_parts(path: str) -> tuple[str, ...]:
+    return tuple(os.path.normpath(path).split(os.sep))
+
+
+def _in_kernel_packages(path: str) -> bool:
+    parts = _path_parts(path)
+    return any(p in KERNEL_PACKAGES for p in parts[:-1])
+
+
+def _in_smoothers_package(path: str) -> bool:
+    return "smoothers" in _path_parts(path)[:-1]
+
+
+def _is_simworld_module(path: str) -> bool:
+    return os.path.basename(path) == "simcomm.py"
+
+
+def _scatter_ufunc_at(call: ast.Call) -> str | None:
+    """``np.add.at`` / ``np.subtract.at`` -> the ufunc name, else None."""
+    f = call.func
+    if (
+        isinstance(f, ast.Attribute)
+        and f.attr == "at"
+        and isinstance(f.value, ast.Attribute)
+        and f.value.attr in _SCATTER_UFUNCS
+        and _is_numpy_name(f.value.value)
+    ):
+        return f.value.attr
+    return None
+
+
+def _ufunc_reduceat(call: ast.Call) -> bool:
+    """``np.<ufunc>.reduceat`` (segmented reduction)."""
+    f = call.func
+    return (
+        isinstance(f, ast.Attribute)
+        and f.attr == "reduceat"
+        and isinstance(f.value, ast.Attribute)
+        and _is_numpy_name(f.value.value)
+    )
+
+
+def _is_recording_call(call: ast.Call) -> bool:
+    """Does this call record kernel cost (``.ops.record*`` / ``record_*``)?"""
+    name = _terminal_name(call.func)
+    if name is None:
+        return False
+    if name in ("record", "record_alloc"):
+        # world.ops.record(...) / world.ops.record_alloc(...)
+        f = call.func
+        return isinstance(f, ast.Attribute) and (
+            isinstance(f.value, ast.Attribute) and f.value.attr == "ops"
+        )
+    return name.startswith("record_") or name.startswith("_record")
+
+
+@dataclass
+class _FunctionInfo:
+    """Per-function facts RL005 needs for its reachability pass."""
+
+    qualname: str
+    node: ast.AST
+    records: bool = False
+    #: (rule-relevant bulk op label, line) occurrences inside this function.
+    bulk_ops: list[tuple[str, int, ast.AST]] = field(default_factory=list)
+    #: Simple names this function calls (module functions / self-methods).
+    calls: set[str] = field(default_factory=set)
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass AST walk collecting all six rules' raw findings."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.raw: list[tuple[str, ast.AST, str]] = []
+        self.smoother_classes = _smoother_class_names()
+        self.kernel_scope = _in_kernel_packages(path)
+        self.smoothers_scope = _in_smoothers_package(path)
+        self.simworld_module = _is_simworld_module(path)
+        # Function-context stacks for qualnames and RL005 bookkeeping.
+        self._scope: list[str] = []
+        self._fn_stack: list[_FunctionInfo] = []
+        self.functions: list[_FunctionInfo] = []
+        # phase_scope calls that legitimately appear as `with` items.
+        self._with_context_calls: set[int] = set()
+        # Classes defined in this file that subclass a smoother class
+        # (their own methods may name the base, e.g. super() patterns).
+
+    # -- context helpers ---------------------------------------------------
+
+    def _qualname(self, name: str) -> str:
+        return ".".join(self._scope + [name])
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.raw.append((rule, node, message))
+
+    def _current_fn(self) -> _FunctionInfo | None:
+        return self._fn_stack[-1] if self._fn_stack else None
+
+    # -- structural visitors -----------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def _visit_function(self, node) -> None:
+        info = _FunctionInfo(self._qualname(node.name), node)
+        self.functions.append(info)
+        self._scope.append(node.name)
+        self._fn_stack.append(info)
+        self.generic_visit(node)
+        self._fn_stack.pop()
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if isinstance(item.context_expr, ast.Call):
+                self._with_context_calls.add(id(item.context_expr))
+        self.generic_visit(node)
+
+    # -- the rules ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = self._current_fn()
+        name = _terminal_name(node.func)
+
+        # RL001 — unstable sorts.
+        if name in ("sort", "argsort") and not _kind_is_stable(node):
+            if isinstance(node.func, ast.Attribute) and _is_numpy_name(
+                node.func.value
+            ):
+                self._emit(
+                    "RL001",
+                    node,
+                    f"np.{name} without kind=\"stable\": tie order is "
+                    "platform/NumPy-version dependent",
+                )
+            elif isinstance(node.func, ast.Attribute) and not _has_keyword(
+                node, "key"
+            ):
+                # Method form on an array-like; `key=` marks a (stable)
+                # Python list.sort and is exempt.
+                self._emit(
+                    "RL001",
+                    node,
+                    f".{name}() without kind=\"stable\" (ndarray method "
+                    "sorts default to unstable introsort)",
+                )
+
+        # RL002 — raw scatter-writes in kernel packages.
+        ufunc = _scatter_ufunc_at(node)
+        if ufunc is not None and self.kernel_scope:
+            qual = fn.qualname if fn else "<module>"
+            if qual not in REGISTERED_SCATTER_QUALNAMES:
+                self._emit(
+                    "RL002",
+                    node,
+                    f"np.{ufunc}.at outside the registered scatter "
+                    "wrappers: accumulation-order semantics and cost "
+                    "accounting are undeclared (route through "
+                    "LocalAssembler._scatter or pragma with justification)",
+                )
+
+        # RL003 — unseeded RNG.
+        if name == "default_rng" and not node.args and not node.keywords:
+            self._emit(
+                "RL003",
+                node,
+                "default_rng() without a seed: stochastic choices must "
+                "replay bit-identically across runs",
+            )
+
+        # RL004 — direct smoother construction.
+        if (
+            name in self.smoother_classes
+            and not self.smoothers_scope
+            and isinstance(node.func, (ast.Name, ast.Attribute))
+        ):
+            self._emit(
+                "RL004",
+                node,
+                f"direct {name}(...) construction: use "
+                "make_smoother(name, A, ...) so options stay uniform and "
+                "registry-validated",
+            )
+
+        # RL006 — phase_scope outside a `with`, raw _pop_phase elsewhere.
+        if name == "phase_scope" and id(node) not in self._with_context_calls:
+            self._emit(
+                "RL006",
+                node,
+                "phase_scope(...) must be entered via `with`: a bare call "
+                "never pops, leaving all later traffic misattributed",
+            )
+        if name == "_pop_phase" and not self.simworld_module:
+            self._emit(
+                "RL006",
+                node,
+                "direct _pop_phase() call outside SimWorld: phase stack "
+                "balance is phase_scope's contract",
+            )
+
+        # RL005 bookkeeping — recording markers, bulk ops, call edges.
+        if fn is not None:
+            if _is_recording_call(node):
+                fn.records = True
+            if name is not None:
+                fn.calls.add(name)
+            bulk: str | None = None
+            if ufunc is not None:
+                bulk = f"np.{ufunc}.at"
+            elif _ufunc_reduceat(node):
+                bulk = "reduceat"
+            elif (
+                name in _BULK_NP_CALLS
+                and isinstance(node.func, ast.Attribute)
+                and _is_numpy_name(node.func.value)
+            ):
+                bulk = f"np.{name}"
+            if bulk is not None:
+                fn.bulk_ops.append((bulk, node.lineno, node))
+
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # RL006 — direct phase-stack manipulation outside SimWorld.
+        if node.attr == "_phase_stack" and not self.simworld_module:
+            self._emit(
+                "RL006",
+                node,
+                "_phase_stack touched directly: push/pop balance is "
+                "checked only through phase_scope",
+            )
+        self.generic_visit(node)
+
+    # -- RL005 resolution --------------------------------------------------
+
+    def resolve_unaccounted(self) -> None:
+        """Flag bulk ops in functions with no reachable recording call.
+
+        Accounting propagates through the intra-module call graph in both
+        directions (a helper whose call sites record is accounted, and so
+        is a caller of a recording helper) to a fixpoint.  Cross-module
+        helpers whose accounting lives elsewhere need a pragma.
+        """
+        if not self.kernel_scope:
+            return
+        by_simple: dict[str, list[_FunctionInfo]] = {}
+        for f in self.functions:
+            by_simple.setdefault(f.qualname.rsplit(".", 1)[-1], []).append(f)
+        accounted = {f.qualname: f.records for f in self.functions}
+        # Undirected adjacency over resolvable intra-module call edges.
+        adj: dict[str, set[str]] = {f.qualname: set() for f in self.functions}
+        for f in self.functions:
+            for callee in f.calls:
+                for g in by_simple.get(callee, []):
+                    if g.qualname != f.qualname:
+                        adj[f.qualname].add(g.qualname)
+                        adj[g.qualname].add(f.qualname)
+        changed = True
+        while changed:
+            changed = False
+            for q, nbrs in adj.items():
+                if not accounted[q] and any(accounted[n] for n in nbrs):
+                    accounted[q] = True
+                    changed = True
+        for f in self.functions:
+            if accounted[f.qualname] or not f.bulk_ops:
+                continue
+            ops = ", ".join(sorted({b for b, _l, _n in f.bulk_ops}))
+            self._emit(
+                "RL005",
+                f.node,
+                f"{f.qualname} performs bulk data motion ({ops}) with no "
+                "reachable world.ops.record / record_* accounting: the "
+                "perf model will not see this kernel",
+            )
+
+
+def _pragma_rules(line: str) -> set[str]:
+    m = _PRAGMA_RE.search(line)
+    return set(re.split(r"\s*,\s*", m.group(1))) if m else set()
+
+
+def _suppressed(
+    rule: str, node: ast.AST, lines: list[str], is_function: bool
+) -> bool:
+    """Inline-pragma check over the node's plausible comment lines.
+
+    A pragma counts if it sits on the node's own line(s) or anywhere in
+    the contiguous comment block immediately above — multi-line
+    justifications are encouraged, so the marker need not be the last
+    comment line.
+    """
+    lineno = getattr(node, "lineno", 1)
+    if is_function:
+        window = range(lineno, lineno + 1)
+    else:
+        end = getattr(node, "end_lineno", lineno) or lineno
+        window = range(lineno, min(end, lineno + 5) + 1)
+    for ln in window:
+        if 1 <= ln <= len(lines) and rule in _pragma_rules(lines[ln - 1]):
+            return True
+    # Walk up through the comment block (and decorators, for functions)
+    # directly above the node.
+    ln = lineno - 1
+    while 1 <= ln <= len(lines):
+        stripped = lines[ln - 1].strip()
+        if not (stripped.startswith("#") or stripped.startswith("@")):
+            break
+        if rule in _pragma_rules(stripped):
+            return True
+        ln -= 1
+    return False
+
+
+def lint_source(source: str, path: str) -> AnalysisReport:
+    """Lint one file's source text; returns live + suppressed findings."""
+    report = AnalysisReport()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule="RL000",
+                path=path,
+                line=exc.lineno or 1,
+                severity="error",
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return report
+    linter = _Linter(path, source)
+    linter.visit(tree)
+    linter.resolve_unaccounted()
+    severity = {"RL005": "warning"}
+    for rule, node, message in linter.raw:
+        finding = Finding(
+            rule=rule,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            severity=severity.get(rule, "error"),
+            message=message,
+        )
+        is_fn = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        )
+        if _suppressed(rule, node, linter.lines, is_fn):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+            continue
+        for root, dirs, files in os.walk(p):
+            dirs[:] = sorted(
+                d for d in dirs if not d.startswith((".", "__pycache__"))
+            )
+            out.extend(
+                os.path.join(root, f)
+                for f in sorted(files)
+                if f.endswith(".py")
+            )
+    return sorted(dict.fromkeys(out))
+
+
+def lint_paths(paths: list[str]) -> AnalysisReport:
+    """Lint every ``.py`` file under ``paths``."""
+    report = AnalysisReport()
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        report.extend(lint_source(source, path))
+    return report
+
+
+# -- baseline ----------------------------------------------------------------
+
+BASELINE_SCHEMA = "repro.analysis-baseline/1"
+
+
+def _baseline_key(finding: Finding, lines_by_path: dict[str, list[str]]) -> tuple:
+    lines = lines_by_path.get(finding.path)
+    text = ""
+    if lines and 1 <= finding.line <= len(lines):
+        text = lines[finding.line - 1].strip()
+    return (finding.rule, finding.path.replace(os.sep, "/"), text)
+
+
+def _source_lines(paths: set[str]) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {}
+    for p in paths:
+        try:
+            with open(p, encoding="utf-8") as fh:
+                out[p] = fh.read().splitlines()
+        except OSError:
+            out[p] = []
+    return out
+
+
+def load_baseline(path: str) -> set[tuple]:
+    """Load a baseline file into the set of grandfathered finding keys."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r} != {BASELINE_SCHEMA!r}"
+        )
+    return {
+        (e["rule"], e["path"], e.get("line_text", ""))
+        for e in doc.get("findings", [])
+    }
+
+
+def write_baseline(path: str, report: AnalysisReport) -> None:
+    """Write the report's live findings as a new baseline file."""
+    lines = _source_lines({f.path for f in report.findings})
+    entries = [
+        {"rule": k[0], "path": k[1], "line_text": k[2]}
+        for k in sorted(
+            {_baseline_key(f, lines) for f in report.findings}
+        )
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"schema": BASELINE_SCHEMA, "findings": entries}, fh, indent=2
+        )
+        fh.write("\n")
+
+
+def apply_baseline(report: AnalysisReport, baseline: set[tuple]) -> None:
+    """Move baselined findings out of the live list, in place."""
+    if not baseline:
+        return
+    lines = _source_lines({f.path for f in report.findings})
+    live: list[Finding] = []
+    for f in report.findings:
+        if _baseline_key(f, lines) in baseline:
+            report.baselined.append(f)
+        else:
+            live.append(f)
+    report.findings[:] = live

@@ -1,0 +1,164 @@
+"""Kernel sanitizer: shadow-memory write-set tracking for scatter kernels.
+
+The Stage-2 scatter kernels (paper §3.2) are data-parallel: one simulated
+thread per contribution, all landing in shared buffers.  The correctness
+contract is that concurrent writes to one slot are either
+
+* declared **atomic** (``"atomic"`` scatter mode: order-nondeterministic
+  but each update is indivisible),
+* combined through a declared **reduce** (the sort-based
+  ``"deterministic"``/``"compensated"`` modes: fixed order), or
+* **unique** per launch (the diagonal fill) / raw assignments with no
+  overlap at all (constraint-row RHS fills).
+
+On real hardware a violated contract is a silent race; here the sanitizer
+makes it a structured finding.  Each observed launch builds a shadow
+write-count array over the target buffer (``np.bincount`` over the slot
+list — the write-set) and checks the declared combine semantics against
+the duplicates it finds.
+
+Attach by setting ``LocalAssembler.sanitizer``; the assembler calls
+:meth:`KernelSanitizer.observe` once per scatter launch with zero overhead
+when unset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.findings import Finding
+from repro.obs.metrics import MetricsRegistry
+
+#: Declared combine semantics for one scatter launch.
+COMBINE_MODES = ("atomic", "reduce", "unique", "none")
+
+
+@dataclass
+class LaunchRecord:
+    """Shadow-memory summary of one observed kernel launch."""
+
+    kernel: str
+    combine: str
+    n_writes: int
+    n_slots: int
+    max_writes_per_slot: int
+
+    @property
+    def has_conflicts(self) -> bool:
+        """More than one write landed on some slot."""
+        return self.max_writes_per_slot > 1
+
+
+class KernelSanitizer:
+    """Write-set tracker + contract checker for scatter launches."""
+
+    def __init__(self) -> None:
+        self.launches: list[LaunchRecord] = []
+        self.findings: list[Finding] = []
+        #: Launches that were racy-but-declared-atomic (the paper's
+        #: documented nondeterminism, not a bug — but worth counting).
+        self.nondeterministic_launches = 0
+
+    def observe(
+        self,
+        kernel: str,
+        target: np.ndarray,
+        slots: np.ndarray,
+        combine: str,
+    ) -> None:
+        """Record one launch's write-set and check its combine contract.
+
+        Args:
+            kernel: kernel label (matches the op-recorder kernel names).
+            target: destination buffer (its size bounds the shadow array).
+            slots: destination index per simulated thread.
+            combine: one of :data:`COMBINE_MODES` — how concurrent writes
+                to one slot are declared to combine.
+        """
+        if combine not in COMBINE_MODES:
+            raise ValueError(
+                f"unknown combine {combine!r}; options {COMBINE_MODES}"
+            )
+        slots = np.asarray(slots)
+        if slots.size:
+            shadow = np.bincount(slots.astype(np.int64))
+            max_writes = int(shadow.max())
+            n_slots = int(np.count_nonzero(shadow))
+        else:
+            max_writes = 0
+            n_slots = 0
+        rec = LaunchRecord(
+            kernel=kernel,
+            combine=combine,
+            n_writes=int(slots.size),
+            n_slots=n_slots,
+            max_writes_per_slot=max_writes,
+        )
+        self.launches.append(rec)
+        if not rec.has_conflicts:
+            return
+        if combine == "atomic":
+            # Declared: indivisible updates, nondeterministic order.
+            self.nondeterministic_launches += 1
+        elif combine == "reduce":
+            # Declared: fixed-order segmented reduction.  Conflicts are
+            # the expected input, combined deterministically.
+            pass
+        elif combine == "unique":
+            self.findings.append(
+                Finding(
+                    rule="KS002",
+                    path="",
+                    line=0,
+                    severity="error",
+                    kernel=kernel,
+                    message=(
+                        f"kernel declared unique-per-slot wrote one slot "
+                        f"{rec.max_writes_per_slot} times "
+                        f"({rec.n_writes} writes over {rec.n_slots} "
+                        "slots): the single-write invariant is broken"
+                    ),
+                )
+            )
+        else:  # none: raw (non-atomic) writes — any overlap is a race.
+            self.findings.append(
+                Finding(
+                    rule="KS001",
+                    path="",
+                    line=0,
+                    severity="error",
+                    kernel=kernel,
+                    message=(
+                        f"conflicting writes not declared atomic: "
+                        f"{rec.n_writes} raw writes hit {rec.n_slots} "
+                        f"slots with up to {rec.max_writes_per_slot} "
+                        "writers per slot — last-writer-wins is "
+                        "schedule-dependent"
+                    ),
+                )
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        """JSON-ready launch/conflict statistics."""
+        return {
+            "launches": len(self.launches),
+            "conflicting_launches": sum(
+                1 for r in self.launches if r.has_conflicts
+            ),
+            "nondeterministic_atomic_launches": (
+                self.nondeterministic_launches
+            ),
+            "findings": len(self.findings),
+        }
+
+    def publish_metrics(self, metrics: MetricsRegistry) -> None:
+        """Count sanitizer findings into ``analysis.*`` counters."""
+        for f in self.findings:
+            metrics.counter("analysis.findings", rule=f.rule).inc()
+        metrics.counter("analysis.sanitized_launches").inc(
+            len(self.launches)
+        )

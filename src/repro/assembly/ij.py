@@ -31,6 +31,8 @@ from repro.linalg.parvector import ParVector
 from repro.partition.renumber import RankNumbering
 
 
+# repro: allow(RL005) — host-side IJ staging normalization; the device
+# sort/reduce for these entries is priced at assemble() (asm_sort/asm_reduce).
 def _sorted_unique_coo(
     i: np.ndarray, j: np.ndarray, a: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -180,6 +182,8 @@ class HypreIJVector:
         lo = self.numbering.offsets[rank]
         self._own[rank][np.asarray(i, dtype=np.int64) - lo] = v
 
+    # repro: allow(RL005) — staging-side sort of off-rank rows; the device
+    # cost is priced at assemble() (vec_sort/vec_reduce).
     def add_to_values2(self, rank: int, i: np.ndarray, v: np.ndarray) -> None:
         """Stage off-rank RHS contributions from ``rank``."""
         i = np.asarray(i, dtype=np.int64)

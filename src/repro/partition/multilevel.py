@@ -237,7 +237,11 @@ def _rebalance(
         for p in over:
             members = np.flatnonzero(parts == p)
             # Boundary members with their candidate destination parts.
-            order = np.argsort(vwgt[members])  # move light vertices first
+            # Move light vertices first.  The stable kind makes the
+            # rebalance order (and hence the final parts array) invariant
+            # under ties — quicksort here made the partition depend on
+            # introsort pivot choices for equal-weight vertices.
+            order = np.argsort(vwgt[members], kind="stable")
             for v in members[order]:
                 if part_w[p] <= cap:
                     break

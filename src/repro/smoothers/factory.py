@@ -98,6 +98,17 @@ _REGISTRY: dict[str, Callable] = {
 #: Public registry names, for config validation and error messages.
 SMOOTHER_NAMES = tuple(sorted(_REGISTRY))
 
+#: Concrete class names behind the registry.  repro-lint's RL004 flags
+#: direct construction of any of these outside :mod:`repro.smoothers`;
+#: :func:`make_smoother` is the sanctioned path.
+SMOOTHER_CLASS_NAMES = (
+    "ChebyshevSmoother",
+    "HybridGS",
+    "JacobiSmoother",
+    "L1JacobiSmoother",
+    "TwoStageGS",
+)
+
 
 def make_smoother(name: str, A: ParCSRMatrix, **opts):
     """Build a smoother / relaxation preconditioner by registry name.

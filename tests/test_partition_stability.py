@@ -1,0 +1,64 @@
+"""Partition determinism: tie-breaks must not depend on sort internals.
+
+The multilevel partitioner's rebalance pass drains overloaded parts in
+ascending vertex-weight order.  With quicksort the order of equal-weight
+vertices depended on introsort pivot choices — i.e. on NumPy version and
+platform — which made the final partition (and everything downstream:
+rank numbering, assembly plans, telemetry) platform-dependent.  The
+stable sort pins ties to index order; these tests pin that behavior.
+"""
+
+import numpy as np
+from scipy import sparse
+
+from repro.partition.multilevel import _rebalance, multilevel_partition
+
+
+def _star_graph(n: int) -> sparse.csr_matrix:
+    """Vertices 0..n-2 each adjacent to hub n-1 (symmetric)."""
+    leaves = np.arange(n - 1)
+    rows = np.concatenate([leaves, np.full(n - 1, n - 1)])
+    cols = np.concatenate([np.full(n - 1, n - 1), leaves])
+    return sparse.csr_matrix(
+        (np.ones(rows.size), (rows, cols)), shape=(n, n)
+    )
+
+
+class TestRebalanceStability:
+    def test_tied_weights_drain_in_index_order(self):
+        # Part 0 holds five unit-weight leaves (overloaded, cap = 3);
+        # every leaf borders the hub in part 1, so all five are equally
+        # movable.  Stable ordering means the two lowest-indexed leaves
+        # move — any other outcome is an unstable tie-break.
+        A = _star_graph(6)
+        vwgt = np.ones(6)
+        parts = np.array([0, 0, 0, 0, 0, 1])
+        out = _rebalance(A, vwgt, parts, nparts=2, tol=0.0)
+        assert out.tolist() == [1, 1, 0, 0, 0, 1]
+
+    def test_rebalance_is_repeatable(self):
+        rng = np.random.default_rng(7)
+        n = 40
+        g = sparse.random(
+            n, n, density=0.2, random_state=np.random.RandomState(7)
+        )
+        A = ((g + g.T) > 0).astype(float).tocsr()
+        # Heavily tied weights: only three distinct values over 40 nodes.
+        vwgt = rng.integers(1, 4, size=n).astype(float)
+        parts = rng.integers(0, 4, size=n)
+        a = _rebalance(A, vwgt, parts, nparts=4, tol=0.1)
+        b = _rebalance(A, vwgt, parts, nparts=4, tol=0.1)
+        assert np.array_equal(a, b)
+
+    def test_multilevel_partition_repeatable_with_tied_weights(self):
+        rng = np.random.default_rng(3)
+        n = 300
+        g = sparse.random(
+            n, n, density=0.03, random_state=np.random.RandomState(3)
+        )
+        A = ((g + g.T) > 0).astype(float).tocsr()
+        vwgt = np.ones(n)  # fully tied
+        a = multilevel_partition(A, 6, vertex_weights=vwgt)
+        b = multilevel_partition(A, 6, vertex_weights=vwgt)
+        assert np.array_equal(a, b)
+        assert np.unique(a).size == 6
