@@ -108,25 +108,29 @@ def compare(
                     f"({b:.3f} -> {c:.3f}) exceeds {iters_tol * 100:.0f}%"
                 )
 
-    # Resilience schema: the resilience.* counter names (including their
-    # label renderings) must match exactly — the simulator is
+    # Resilience/comm schema: the resilience.* counter names — including
+    # the checkpoint.* family — and the comm.* transport counters
+    # (retries, drops_detected, corrupt_detected, duplicates_discarded)
+    # must match exactly, label renderings included: the simulator is
     # deterministic, so a vanished/renamed counter or a changed count is
     # a recovery-path change, not noise.
     bm = base.get("metrics", {}).get("counters", {})
     cm = cur.get("metrics", {}).get("counters", {})
-    bres = {k: v for k, v in bm.items() if k.startswith("resilience.")}
-    cres = {k: v for k, v in cm.items() if k.startswith("resilience.")}
-    for key in sorted(set(bres) | set(cres)):
-        if key not in bres or key not in cres:
-            failures.append(
-                f"resilience counter {key!r} only in "
-                f"{'current' if key not in bres else 'baseline'}"
-            )
-        elif bres[key] != cres[key]:
-            failures.append(
-                f"resilience counter {key!r} changed "
-                f"({bres[key]} -> {cres[key]})"
-            )
+    for prefix in ("resilience.", "comm."):
+        family = prefix.rstrip(".")
+        bres = {k: v for k, v in bm.items() if k.startswith(prefix)}
+        cres = {k: v for k, v in cm.items() if k.startswith(prefix)}
+        for key in sorted(set(bres) | set(cres)):
+            if key not in bres or key not in cres:
+                failures.append(
+                    f"{family} counter {key!r} only in "
+                    f"{'current' if key not in bres else 'baseline'}"
+                )
+            elif bres[key] != cres[key]:
+                failures.append(
+                    f"{family} counter {key!r} changed "
+                    f"({bres[key]} -> {cres[key]})"
+                )
 
     # Recovery summary: failure/recovery-by-action counts must replay
     # identically (fault schedules are seeded).

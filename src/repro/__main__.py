@@ -31,12 +31,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         nranks=args.ranks,
         partition_method=args.partition,
         assembly_variant=args.assembly,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_keep=args.checkpoint_keep,
+        restart_from=args.restart_from,
     )
     sim = NaluWindSimulation(args.workload, cfg)
     print(
         f"{args.workload}: {sim.comp.n} DoFs, {len(sim.comp.meshes)} meshes, "
         f"{args.ranks} ranks"
     )
+    if args.restart_from:
+        print(
+            f"  restarted from {args.restart_from} at step {sim.step_index}"
+        )
     report = sim.run(args.steps)
     for eq, its in report.solve_iterations.items():
         print(f"  {eq:10s} mean iters {np.mean(its):6.2f} over {len(its)} solves")
@@ -204,6 +212,23 @@ def main(argv: list[str] | None = None) -> int:
         choices=["optimized", "sparse_add", "general"],
     )
     p_run.add_argument("--vtk", default="", help="VTK output prefix")
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write a durable checkpoint every N steps (0 = off)",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir", default="checkpoints",
+        help="checkpoint retention-ring directory",
+    )
+    p_run.add_argument(
+        "--checkpoint-keep", type=int, default=2,
+        help="checkpoints kept in the retention ring",
+    )
+    p_run.add_argument(
+        "--restart-from", default="", metavar="PATH",
+        help="resume from a checkpoint file or ring directory "
+             "(--steps then counts from t=0)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_tr = sub.add_parser(

@@ -7,18 +7,42 @@ every point-to-point message and collective is recorded in a
 :class:`~repro.comm.traffic.TrafficLog` so the performance model
 (:mod:`repro.perf`) can convert the observed communication structure into
 simulated wall time on a modeled machine.
+
+Point-to-point messages travel in checksummed, sequence-numbered
+:class:`~repro.comm.simcomm.MessageEnvelope` wrappers; transport failures
+raise the structured exceptions of :mod:`repro.comm.errors` so the
+resilience layer (:mod:`repro.resilience`) can classify and recover them.
 """
 
+from repro.comm.errors import (
+    CommCorruptionError,
+    CommDeadlockError,
+    CommError,
+    CommRetriesExhaustedError,
+    MailboxLeakError,
+)
 from repro.comm.traffic import CollectiveRecord, MessageRecord, TrafficLog
-from repro.comm.simcomm import SimComm, SimWorld
+from repro.comm.simcomm import (
+    MessageEnvelope,
+    SimComm,
+    SimWorld,
+    payload_checksum,
+)
 from repro.comm.exchange import ExchangePattern, build_exchange_pattern
 
 __all__ = [
     "CollectiveRecord",
+    "CommCorruptionError",
+    "CommDeadlockError",
+    "CommError",
+    "CommRetriesExhaustedError",
     "ExchangePattern",
+    "MailboxLeakError",
+    "MessageEnvelope",
     "MessageRecord",
     "SimComm",
     "SimWorld",
     "TrafficLog",
     "build_exchange_pattern",
+    "payload_checksum",
 ]

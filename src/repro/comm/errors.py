@@ -1,0 +1,179 @@
+"""Structured communication errors.
+
+Every failure of the simulated transport layer is raised as a typed
+exception carrying machine-readable context (phase label, endpoint
+ranks, sequence numbers, a pending-mailbox snapshot) instead of a bare
+``RuntimeError`` string: the recovery machinery routes on *what* failed,
+and post-mortem reports can show where every undelivered message was
+posted.
+
+The hierarchy is intentionally flat — ``CommError`` is the catch-all the
+solver layer traps to escalate into the recovery ladder
+(:mod:`repro.resilience.policy`); the subclasses distinguish the three
+transport outcomes (nothing arrived, garbage arrived, retries ran out)
+plus the end-of-phase leak check.
+
+All classes subclass ``RuntimeError`` so pre-existing callers that
+trapped the old bare errors keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class CommError(RuntimeError):
+    """Base class for transport failures of the simulated comm layer.
+
+    Attributes:
+        phase: phase label active when the failure was detected.
+        src: sending rank (-1 when not applicable).
+        dst: receiving rank (-1 when not applicable).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str = "",
+        src: int = -1,
+        dst: int = -1,
+    ) -> None:
+        super().__init__(message)
+        self.phase = phase
+        self.src = int(src)
+        self.dst = int(dst)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation for reports and telemetry."""
+        return {
+            "message": str(self),
+            "type": type(self).__name__,
+            "phase": self.phase,
+            "src": self.src,
+            "dst": self.dst,
+        }
+
+
+class CommDeadlockError(CommError):
+    """A ``recv`` found no pending message (simulated deadlock).
+
+    Carries a snapshot of every pending mailbox at raise time, so the
+    report shows which messages *were* in flight (and under which phase
+    they were posted) when the missing one was expected.
+
+    Attributes:
+        pending: ``[{"src", "dst", "phase", "count"}, ...]`` snapshot of
+            all non-empty mailboxes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str = "",
+        src: int = -1,
+        dst: int = -1,
+        pending: Sequence[dict[str, Any]] = (),
+    ) -> None:
+        super().__init__(message, phase=phase, src=src, dst=dst)
+        self.pending = [dict(p) for p in pending]
+
+    def to_dict(self) -> dict[str, Any]:
+        d = super().to_dict()
+        d["pending"] = [dict(p) for p in self.pending]
+        return d
+
+
+class CommCorruptionError(CommError):
+    """A received payload failed its envelope checksum.
+
+    Attributes:
+        seq: sequence number of the corrupt envelope.
+        expected_checksum: checksum stamped at post time.
+        actual_checksum: checksum of the payload as delivered.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str = "",
+        src: int = -1,
+        dst: int = -1,
+        seq: int = -1,
+        expected_checksum: int = 0,
+        actual_checksum: int = 0,
+    ) -> None:
+        super().__init__(message, phase=phase, src=src, dst=dst)
+        self.seq = int(seq)
+        self.expected_checksum = int(expected_checksum)
+        self.actual_checksum = int(actual_checksum)
+
+    def to_dict(self) -> dict[str, Any]:
+        d = super().to_dict()
+        d.update(
+            seq=self.seq,
+            expected_checksum=self.expected_checksum,
+            actual_checksum=self.actual_checksum,
+        )
+        return d
+
+
+class CommRetriesExhaustedError(CommError):
+    """The bounded retry protocol gave up on one logical message.
+
+    Attributes:
+        attempts: delivery attempts made (including the first).
+        last_error: classification of the final failed attempt
+            (``"dropped"`` or ``"corrupt"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str = "",
+        src: int = -1,
+        dst: int = -1,
+        attempts: int = 0,
+        last_error: str = "",
+    ) -> None:
+        super().__init__(message, phase=phase, src=src, dst=dst)
+        self.attempts = int(attempts)
+        self.last_error = last_error
+
+    def to_dict(self) -> dict[str, Any]:
+        d = super().to_dict()
+        d.update(attempts=self.attempts, last_error=self.last_error)
+        return d
+
+
+class MailboxLeakError(CommError):
+    """Messages were still pending at a synchronization point.
+
+    Raised by :meth:`repro.comm.simcomm.SimWorld.assert_no_pending`:
+    a posted-but-never-received message at a barrier means some exchange
+    protocol lost track of a payload — on real MPI this is a hang or a
+    late-delivery correctness bug.
+
+    Attributes:
+        pending: ``[{"src", "dst", "phase", "count"}, ...]`` one entry
+            per leaked mailbox, with the phase the oldest leaked message
+            was posted under.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str = "",
+        pending: Sequence[dict[str, Any]] = (),
+    ) -> None:
+        super().__init__(message, phase=phase)
+        self.pending = [dict(p) for p in pending]
+
+    def to_dict(self) -> dict[str, Any]:
+        d = super().to_dict()
+        d["pending"] = [dict(p) for p in self.pending]
+        return d

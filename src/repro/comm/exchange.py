@@ -14,6 +14,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.comm.errors import (
+    CommCorruptionError,
+    CommDeadlockError,
+    CommRetriesExhaustedError,
+)
 from repro.comm.simcomm import SimWorld
 
 
@@ -117,12 +122,34 @@ def build_exchange_pattern(
     return ExchangePattern(offsets=offsets, per_rank=per_rank)
 
 
+def _halo_payload(
+    pattern: ExchangePattern, owned: list[np.ndarray], src: int, dst: int
+) -> np.ndarray:
+    """The slice rank ``src`` ships to rank ``dst`` in one exchange round."""
+    for d, local_idx in pattern.per_rank[src].send_to:
+        if d == dst:
+            return np.ascontiguousarray(owned[src][local_idx])
+    raise ValueError(f"pattern has no send from rank {src} to rank {dst}")
+
+
 def exchange_halo(
     world: SimWorld,
     pattern: ExchangePattern,
     owned: list[np.ndarray],
 ) -> list[np.ndarray]:
     """Run one halo exchange: gather external entries for every rank.
+
+    Messages travel through the mailbox transport
+    (:meth:`SimWorld._post` / :meth:`SimWorld._take`), so they are
+    sequence-numbered, checksummed, and exposed to injected
+    ``message_drop``/``message_corrupt``/``message_duplicate`` faults.
+    The receive side runs a bounded retry protocol: a message that never
+    arrived (drop) or arrived corrupt is re-requested from its owner up
+    to ``world.comm_max_retries`` times (``comm.retries`` /
+    ``comm.drops_detected`` counters track every re-request); when the
+    budget is exhausted a
+    :class:`~repro.comm.errors.CommRetriesExhaustedError` escalates to
+    the solver-level recovery ladder.
 
     Args:
         world: the simulated world (records traffic).
@@ -136,14 +163,63 @@ def exchange_halo(
     if len(owned) != nranks:
         raise ValueError("need one owned slice per rank")
     ext = [np.zeros(rx.n_ext, dtype=np.float64) for rx in pattern.per_rank]
-    # Post all sends, then deliver: matches the MPI_Isend/Irecv structure.
+    # Post all sends, then receive: matches the MPI_Isend/Irecv structure.
     for src in range(nranks):
         for dst, local_idx in pattern.per_rank[src].send_to:
-            payload = np.ascontiguousarray(owned[src][local_idx])
-            world.traffic.record_message(src, dst, payload.nbytes, world.phase)
-            # Deliver directly into dst's external buffer.
-            for owner, positions in pattern.per_rank[dst].recv_from:
-                if owner == src:
-                    ext[dst][positions] = payload
-                    break
+            world._post(src, dst, np.ascontiguousarray(owned[src][local_idx]))
+    for dst in range(nranks):
+        for src, positions in pattern.per_rank[dst].recv_from:
+            payload = _recv_with_retry(world, pattern, owned, src, dst)
+            if payload.shape != (positions.size,):
+                raise CommCorruptionError(
+                    f"halo message {src} -> {dst}: expected "
+                    f"{positions.size} entries, got {payload.shape}",
+                    phase=world.phase,
+                    src=src,
+                    dst=dst,
+                )
+            ext[dst][positions] = payload
     return ext
+
+
+def _recv_with_retry(
+    world: SimWorld,
+    pattern: ExchangePattern,
+    owned: list[np.ndarray],
+    src: int,
+    dst: int,
+) -> np.ndarray:
+    """Receive one halo message, re-requesting on drop/corruption.
+
+    Each retry re-posts the message from the (uncorrupted) sender-side
+    slice — the simulated analogue of an MPI-level NACK + resend — and
+    every re-post is a fresh fault-injection opportunity, so consecutive
+    scheduled drops can exhaust the budget deterministically in tests.
+    """
+    max_retries = max(0, int(world.comm_max_retries))
+    last_error = ""
+    for attempt in range(1 + max_retries):
+        if attempt > 0:
+            world.metrics.counter("comm.retries", phase=world.phase).inc()
+            world._post(src, dst, _halo_payload(pattern, owned, src, dst))
+        try:
+            return world._take(src, dst)
+        except CommDeadlockError:
+            # Nothing pending on this channel: the message was dropped
+            # on the wire (a true deadlock would leave nothing to resend).
+            world.metrics.counter(
+                "comm.drops_detected", phase=world.phase
+            ).inc()
+            last_error = "dropped"
+        except CommCorruptionError:
+            # comm.corrupt_detected was already counted by _take.
+            last_error = "corrupt"
+    raise CommRetriesExhaustedError(
+        f"halo message {src} -> {dst} failed after {1 + max_retries} "
+        f"attempt(s) in phase {world.phase!r} (last error: {last_error})",
+        phase=world.phase,
+        src=src,
+        dst=dst,
+        attempts=1 + max_retries,
+        last_error=last_error,
+    )

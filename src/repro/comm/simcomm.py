@@ -11,16 +11,29 @@ mailbox, used where the paper's algorithms are written in per-rank form
 All exchanges move *real* data, so the numerics downstream (hybrid smoothers,
 additive Schwarz, assembly) behave exactly as they would distributed; the log
 only adds accounting on top.
+
+Point-to-point messages travel in :class:`MessageEnvelope` wrappers that
+carry a per-channel sequence number and a CRC32 payload checksum, so the
+receiving side detects dropped, duplicated, and corrupted messages (the
+fault classes :class:`~repro.resilience.injection.FaultInjector` injects
+on the p2p path) instead of silently consuming them.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.comm.errors import (
+    CommCorruptionError,
+    CommDeadlockError,
+    MailboxLeakError,
+)
 from repro.comm.traffic import TrafficLog
 from repro.obs.hooks import ObserverHub
 from repro.obs.metrics import MetricsRegistry
@@ -37,6 +50,56 @@ def _nbytes(payload: Any) -> int:
     if isinstance(payload, (float, np.floating)):
         return 8
     return 8
+
+
+def payload_checksum(payload: Any) -> int:
+    """CRC32 checksum of a message payload.
+
+    Covers ndarray contents (any dtype), scalars, and tuples/lists of
+    them — the payload shapes the exchange paths actually post.  The
+    checksum is over raw value bytes, so any single-bit corruption of a
+    delivered array flips it.
+    """
+    crc = 0
+    if isinstance(payload, np.ndarray):
+        return zlib.crc32(np.ascontiguousarray(payload).tobytes())
+    if isinstance(payload, (tuple, list)):
+        for p in payload:
+            crc = zlib.crc32(payload_checksum(p).to_bytes(4, "little"), crc)
+        return crc
+    return zlib.crc32(repr(payload).encode())
+
+
+@dataclass
+class MessageEnvelope:
+    """One point-to-point message on the simulated wire.
+
+    Attributes:
+        seq: per-``(src, dst)`` channel sequence number (0-based,
+            monotonically increasing per post).
+        src: sending rank.
+        dst: receiving rank.
+        phase: phase label active at post time.
+        payload: the message body.
+        checksum: CRC32 of the payload at post time (see
+            :func:`payload_checksum`).  Verified on receive; a mismatch
+            means in-flight corruption.
+    """
+
+    seq: int
+    src: int
+    dst: int
+    phase: str
+    payload: Any
+    checksum: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.checksum < 0:
+            self.checksum = payload_checksum(self.payload)
+
+    def verify(self) -> bool:
+        """True when the payload still matches its post-time checksum."""
+        return payload_checksum(self.payload) == self.checksum
 
 
 class SimWorld:
@@ -62,9 +125,19 @@ class SimWorld:
         # repro.resilience.injection); when set, world-level exchanges give
         # it the chance to corrupt payloads deterministically.
         self.fault_injector: Any = None
+        # Bounded-retry budget of the halo-exchange protocol
+        # (re-deliveries per logical message after the first attempt);
+        # configured from RecoveryPolicy.comm_max_retries by the
+        # simulation driver.
+        self.comm_max_retries = 2
+        # Leak checking at barriers: a posted-but-unreceived message at a
+        # synchronization point is a protocol bug (see assert_no_pending).
+        self.leak_check = True
         self.rng = np.random.default_rng(seed)
         self._phase_stack: list[str] = ["default"]
-        self._mailboxes: dict[tuple[int, int], deque[Any]] = {}
+        self._mailboxes: dict[tuple[int, int], deque[MessageEnvelope]] = {}
+        self._next_seq: dict[tuple[int, int], int] = {}
+        self._last_delivered: dict[tuple[int, int], int] = {}
 
     # -- phase labeling ----------------------------------------------------
 
@@ -133,30 +206,168 @@ class SimWorld:
     # -- mailbox primitives (used by SimComm) -------------------------------
 
     def _post(self, src: int, dst: int, payload: Any) -> None:
-        nbytes = _nbytes(payload)
-        self.traffic.record_message(src, dst, nbytes, self.phase)
-        self.hub.emit(
-            "exchange",
-            kind="p2p",
-            src=src,
-            dst=dst,
-            nbytes=nbytes,
-            phase=self.phase,
+        """Post one point-to-point message from ``src`` to ``dst``.
+
+        The payload travels in a sequence-numbered, checksummed
+        :class:`MessageEnvelope`.  When a fault injector is installed it
+        sees every envelope (:meth:`FaultInjector.on_post`) and may drop
+        it, corrupt the payload in flight, or duplicate it; traffic and
+        the per-message ``exchange`` hub event are recorded once per
+        envelope that left the sender (a dropped message was still sent —
+        it is lost on the wire, not at the source).
+        """
+        key = (src, dst)
+        seq = self._next_seq.get(key, 0)
+        self._next_seq[key] = seq + 1
+        env = MessageEnvelope(
+            seq=seq, src=src, dst=dst, phase=self.phase, payload=payload
         )
-        self._mailboxes.setdefault((src, dst), deque()).append(payload)
+        envelopes: Sequence[MessageEnvelope] = (env,)
+        if self.fault_injector is not None:
+            envelopes = self.fault_injector.on_post(env)
+        # Wire accounting: one record per transmission.  A drop still
+        # transmits once (and vanishes); a duplicate transmits twice.
+        n_wire = max(1, len(envelopes))
+        nbytes = _nbytes(payload)
+        for _ in range(n_wire):
+            self.traffic.record_message(src, dst, nbytes, self.phase)
+            self.hub.emit(
+                "exchange",
+                kind="p2p",
+                src=src,
+                dst=dst,
+                nbytes=nbytes,
+                phase=self.phase,
+            )
+        if envelopes:
+            box = self._mailboxes.setdefault(key, deque())
+            box.extend(envelopes)
 
     def _take(self, src: int, dst: int) -> Any:
-        box = self._mailboxes.get((src, dst))
+        """Receive the oldest pending payload on channel ``(src, dst)``.
+
+        Validates the envelope: duplicates (sequence number at or below
+        the last delivered one) are discarded with a
+        ``comm.duplicates_discarded`` count; a checksum mismatch raises
+        :class:`~repro.comm.errors.CommCorruptionError`; an empty channel
+        raises :class:`~repro.comm.errors.CommDeadlockError` carrying a
+        snapshot of every pending mailbox.
+        """
+        key = (src, dst)
+        box = self._mailboxes.get(key)
+        last = self._last_delivered.get(key, -1)
+        # Skip stale duplicates queued ahead of the next fresh message.
+        while box and box[0].seq <= last:
+            box.popleft()
+            self.metrics.counter(
+                "comm.duplicates_discarded", phase=self.phase
+            ).inc()
         if not box:
-            raise RuntimeError(
+            raise CommDeadlockError(
                 f"recv from rank {src} on rank {dst}: no message posted "
-                "(simulated deadlock)"
+                f"(simulated deadlock) in phase {self.phase!r}; "
+                f"{self.pending_messages()} message(s) pending elsewhere",
+                phase=self.phase,
+                src=src,
+                dst=dst,
+                pending=self.pending_summary(),
             )
-        return box.popleft()
+        env = box.popleft()
+        if not env.verify():
+            self.metrics.counter(
+                "comm.corrupt_detected", phase=self.phase
+            ).inc()
+            raise CommCorruptionError(
+                f"message {src} -> {dst} seq {env.seq} failed its payload "
+                f"checksum (posted in phase {env.phase!r})",
+                phase=self.phase,
+                src=src,
+                dst=dst,
+                seq=env.seq,
+                expected_checksum=env.checksum,
+                actual_checksum=payload_checksum(env.payload),
+            )
+        self._last_delivered[key] = env.seq
+        # Drop trailing duplicates of the message just delivered so they
+        # cannot linger as mailbox leaks past the next barrier.
+        while box and box[0].seq <= env.seq:
+            box.popleft()
+            self.metrics.counter(
+                "comm.duplicates_discarded", phase=self.phase
+            ).inc()
+        return env.payload
 
     def pending_messages(self) -> int:
         """Number of posted-but-unreceived messages (should be 0 at sync points)."""
         return sum(len(b) for b in self._mailboxes.values())
+
+    def pending_summary(self) -> list[dict[str, Any]]:
+        """Snapshot of every non-empty mailbox.
+
+        Returns one ``{"src", "dst", "phase", "count", "seqs"}`` entry
+        per channel holding undelivered messages, where ``phase`` is the
+        label the oldest pending message was posted under — exactly the
+        context a leak report needs.
+        """
+        out: list[dict[str, Any]] = []
+        for (src, dst), box in sorted(self._mailboxes.items()):
+            if not box:
+                continue
+            out.append(
+                {
+                    "src": src,
+                    "dst": dst,
+                    "phase": box[0].phase,
+                    "count": len(box),
+                    "seqs": [env.seq for env in box],
+                }
+            )
+        return out
+
+    def purge_pending(self, reason: str = "") -> int:
+        """Drop every in-flight message and reset channel sequence state.
+
+        The escalation path calls this after a transport failure aborts
+        an exchange mid-round: messages already posted for the aborted
+        round would otherwise be mis-delivered to the next round (wrong
+        shapes, stale sequence numbers) and poison every retry — the
+        simulated analogue of tearing down and re-establishing
+        communicators after an MPI fault.  Purged messages are counted
+        under ``comm.purged`` (labeled with ``reason``).  Returns the
+        number of messages dropped.
+        """
+        purged = self.pending_messages()
+        if purged:
+            self.metrics.counter(
+                "comm.purged", phase=self.phase, reason=reason
+            ).inc(purged)
+        self._mailboxes.clear()
+        self._next_seq.clear()
+        self._last_delivered.clear()
+        return purged
+
+    def assert_no_pending(self, context: str = "") -> None:
+        """Raise :class:`MailboxLeakError` when any message is pending.
+
+        Called at barriers (when :attr:`leak_check` is on) and usable by
+        tests at end-of-phase: an undelivered message at a
+        synchronization point means an exchange protocol leaked a
+        payload — on real MPI, a hang or a late-delivery bug.
+        """
+        pending = self.pending_summary()
+        if not pending:
+            return
+        where = f" at {context}" if context else ""
+        detail = "; ".join(
+            f"{p['count']} from rank {p['src']} to rank {p['dst']} "
+            f"(posted in phase {p['phase']!r})"
+            for p in pending
+        )
+        raise MailboxLeakError(
+            f"{self.pending_messages()} message(s) leaked{where}: {detail}",
+            phase=self.phase,
+            pending=pending,
+        )
 
     # -- world-level exchanges ----------------------------------------------
 
@@ -171,6 +382,12 @@ class SimWorld:
         traffic log — a rank keeping its own data is a memory copy, not a
         network message (``SimComm.send`` rejects self-sends for the same
         reason).
+
+        Every transmitted payload emits a per-message ``exchange`` hub
+        event (``kind="p2p"``) exactly like :meth:`_post` does, so
+        hub-derived message counts agree with the :class:`TrafficLog`
+        aggregates; one summary event (``kind="alltoallv"``) closes the
+        exchange.
         """
         if len(send) != self.size:
             raise ValueError("alltoallv needs one send row per rank")
@@ -186,8 +403,17 @@ class SimWorld:
                 if isinstance(payload, np.ndarray) and payload.size == 0:
                     continue
                 if dst != src:
+                    nbytes = _nbytes(payload)
                     self.traffic.record_message(
-                        src, dst, _nbytes(payload), self.phase
+                        src, dst, nbytes, self.phase
+                    )
+                    self.hub.emit(
+                        "exchange",
+                        kind="p2p",
+                        src=src,
+                        dst=dst,
+                        nbytes=nbytes,
+                        phase=self.phase,
                     )
                 recv[dst].append(payload)
         if self.fault_injector is not None:
@@ -228,7 +454,14 @@ class SimWorld:
         return list(values)
 
     def barrier(self) -> None:
-        """Synchronization point; records a zero-byte collective."""
+        """Synchronization point; records a zero-byte collective.
+
+        With :attr:`leak_check` on (the default), also asserts that no
+        posted message is still undelivered — every rank reaching a
+        barrier with messages in flight is a protocol bug.
+        """
+        if self.leak_check:
+            self.assert_no_pending(context="barrier")
         self.traffic.record_collective("barrier", self.size, 0, self.phase)
         self.hub.emit("exchange", kind="barrier", phase=self.phase)
 

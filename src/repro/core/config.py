@@ -97,6 +97,16 @@ class SimulationConfig:
     faults: tuple[FaultSpec, ...] = ()
     fault_seed: int = 0
 
+    # Durable checkpoint/restart (docs/checkpoint_restart.md).  A
+    # checkpoint is written every N completed steps (0 disables);
+    # restart_from names either a checkpoint file or a checkpoint
+    # directory (the newest good ring entry is used).  Restored runs
+    # reproduce the uninterrupted run bitwise.
+    checkpoint_every: int = 0
+    checkpoint_dir: str = "checkpoints"
+    checkpoint_keep: int = 2
+    restart_from: str = ""
+
     def validate(self) -> None:
         """Raise on inconsistent settings."""
         if self.partition_method not in ("parmetis", "rcb"):
@@ -130,6 +140,14 @@ class SimulationConfig:
             raise ValueError("velocity_relax must be in (0, 1]")
         if not (0.0 < self.pressure_relax <= 1.0):
             raise ValueError("pressure_relax must be in (0, 1]")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
+        if self.checkpoint_every and not self.checkpoint_dir:
+            raise ValueError(
+                "checkpoint_dir must be set when checkpoint_every > 0"
+            )
         self.recovery.validate()
         for spec in self.faults:
             spec.validate()

@@ -29,6 +29,7 @@ from repro.assembly.global_assembly import (
 from repro.assembly.graph import EquationGraph, GraphSpec
 from repro.assembly.local import LocalAssembler
 from repro.assembly.plan import AssemblyPlan
+from repro.comm.errors import CommError
 from repro.core.composite import CompositeMesh
 from repro.core.config import SimulationConfig
 from repro.core.timers import PhaseTimers
@@ -38,6 +39,7 @@ from repro.linalg.parvector import ParVector
 from repro.overset.assembler import NodeStatus
 from repro.resilience.guards import (
     SolverFailure,
+    classify_failure,
     iterate_is_finite,
     operands_are_finite,
 )
@@ -276,15 +278,26 @@ class EquationSystem:
         rebuild = (
             self._solves_since_setup % self.config.precond_rebuild_every == 0
         )
-        with self.timers.measure(self.phase("precond_setup")):
-            with self.world.phase_scope(self.phase("precond_setup")):
-                if rebuild or self._precond is None:
-                    self._precond = self.make_preconditioner(A)
-                else:
-                    self.refresh_preconditioner(A)
-        self._solves_since_setup += 1
-        result = self._run_krylov(A, b, x0, cfg)
-        kind = self._classify_failure(result, policy)
+        # Transport failures (dropped/corrupt halo messages that exhausted
+        # the comm retry budget) escalate into the same ladder as solver
+        # failures: the retry rungs re-drive the exchanges, and one-shot
+        # injected faults will not re-fire.
+        try:
+            with self.timers.measure(self.phase("precond_setup")):
+                with self.world.phase_scope(self.phase("precond_setup")):
+                    if rebuild or self._precond is None:
+                        self._precond = self.make_preconditioner(A)
+                    else:
+                        self.refresh_preconditioner(A)
+            self._solves_since_setup += 1
+            result = self._run_krylov(A, b, x0, cfg)
+            kind = self._classify_failure(result, policy)
+        except CommError as exc:
+            kind = classify_failure(exc)
+            # The aborted exchange left its round's remaining messages in
+            # flight; purge them so recovery retries reach clean channels.
+            self.world.purge_pending(reason=kind)
+            result = self._aborted_result(b, cfg, str(exc))
         if kind is not None:
             result = self._recover(A, b, x0, cfg, result, kind, policy)
         record = SolveRecord(
@@ -312,6 +325,23 @@ class EquationSystem:
         return result
 
     # -- failure handling -------------------------------------------------------
+
+    def _aborted_result(self, b: ParVector, cfg, detail: str) -> KrylovResult:
+        """Placeholder result for a solve aborted before producing one.
+
+        Used when a transport error interrupts preconditioner setup or
+        the Krylov iteration itself; carries a zero iterate and an
+        infinite residual so every health check downstream reads it as
+        failed.
+        """
+        return KrylovResult(
+            x=b.like(),
+            iterations=0,
+            residual_norm=float("inf"),
+            converged=False,
+            residual_history=[],
+            method=f"{cfg.method} (aborted: {detail})",
+        )
 
     def _run_krylov(
         self, A: ParCSRMatrix, b: ParVector, x0: ParVector | None, cfg

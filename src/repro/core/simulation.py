@@ -13,6 +13,7 @@ on any machine model, exactly the statistic Figs. 3/8/9/11 plot.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -43,6 +44,10 @@ from repro.obs.telemetry import (
 from repro.obs.tracer import Tracer
 from repro.overset.assembler import NodeStatus
 from repro.perf.cost import PhaseAggregate, collect_phase_aggregates
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+)
 from repro.resilience.guards import SolverFailure, validate_fields
 from repro.resilience.injection import FaultInjector
 from repro.resilience.policy import RecoveryEvent, summarize_events
@@ -121,6 +126,7 @@ class NaluWindSimulation:
             self.world.fault_injector = FaultInjector(
                 self.config.faults, seed=self.config.fault_seed
             )
+        self.world.comm_max_retries = self.config.recovery.comm_max_retries
         self.recovery_events: list[dict[str, Any]] = []
         self.world.hub.subscribe("solver_failure", self._on_solver_failure)
         self.world.hub.subscribe("recovery", self._on_recovery)
@@ -136,6 +142,17 @@ class NaluWindSimulation:
         self.initialize_fields()
         self.step_snapshots: list[dict[str, PhaseAggregate]] = []
         self.divergence_norms: list[float] = []
+        # Durable checkpoint/restart (docs/checkpoint_restart.md).
+        self.step_index = 0
+        self._resume_total = False
+        self._checkpoint_restores = 0
+        self._ckpt_manager: CheckpointManager | None = None
+        if self.config.restart_from:
+            self._load_restart(self.config.restart_from)
+            # The first run() after a cold restart interprets n_steps as
+            # the *total* step count from t=0, so the restart-vs-
+            # uninterrupted comparison uses identical call shapes.
+            self._resume_total = True
 
     # -- state -------------------------------------------------------------------
 
@@ -256,8 +273,207 @@ class NaluWindSimulation:
             raise
 
     def _recovery_summary(self) -> dict[str, Any]:
-        """Fold the run's failure/recovery events into a report summary."""
-        return summarize_events(self.recovery_events)
+        """Fold the run's failure/recovery events into a report summary.
+
+        When durable checkpointing was active, a ``checkpoint`` section
+        (writes/restores/retry counts) rides along; a nominal run without
+        checkpoints keeps the legacy empty-dict shape.
+        """
+        summary = summarize_events(self.recovery_events)
+        m = self.world.metrics
+        writes = m.counter_total("resilience.checkpoint.writes")
+        restores = m.counter_total("resilience.checkpoint.restores")
+        if writes or restores:
+            summary = dict(summary)
+            summary["checkpoint"] = {
+                "writes": int(writes),
+                "restores": int(restores),
+                "write_retries": int(
+                    m.counter_total("resilience.checkpoint.write_retries")
+                ),
+                "corrupt_detected": int(
+                    m.counter_total("resilience.checkpoint.corrupt_detected")
+                ),
+            }
+        return summary
+
+    # -- durable checkpoint/restart ----------------------------------------------
+
+    def _checkpoint_manager(self) -> CheckpointManager:
+        """The retention-ring manager over ``config.checkpoint_dir``."""
+        if self._ckpt_manager is None:
+            self._ckpt_manager = CheckpointManager(
+                self.config.checkpoint_dir,
+                keep=self.config.checkpoint_keep,
+                injector=self.world.fault_injector,
+                metrics=self.world.metrics,
+            )
+        return self._ckpt_manager
+
+    def _capture_durable_state(
+        self,
+    ) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        """Full restart state: fields, mesh motion, RNG, telemetry.
+
+        Everything needed for a bitwise-exact resume is captured; derived
+        state (overset connectivity, equation graphs, preconditioners) is
+        deliberately *not* — the next step recomputes it deterministically
+        from the restored inputs, exactly as the uninterrupted run would.
+        Timing/traffic aggregates are environment, not simulation state,
+        and restart from zero.
+        """
+        cfg = self.config
+        arrays = self._checkpoint_fields()
+        for i, mesh in enumerate(self.system.blades):
+            arrays[f"blade{i}/coords"] = mesh.coords.copy()
+        injector = self.world.fault_injector
+        meta: dict[str, Any] = {
+            "workload": self.workload_name,
+            "nranks": cfg.nranks,
+            "step_index": self.step_index,
+            "dt": cfg.dt,
+            "rotor_angles": [float(r.angle) for r in self.system.rotations],
+            "divergence_norms": [float(v) for v in self.divergence_norms],
+            "rng_state": self.world.rng.bit_generator.state,
+            "injector": injector.state_dict() if injector else None,
+            "metrics": self.world.metrics.state_dict(),
+        }
+        return arrays, meta
+
+    def _restore_durable_state(
+        self,
+        arrays: dict[str, np.ndarray],
+        meta: dict[str, Any],
+        *,
+        cold: bool,
+    ) -> None:
+        """Apply a checkpoint to this simulation.
+
+        ``cold=True`` (process restart) additionally restores the RNG
+        streams, fault-injector schedule, and telemetry counters, making
+        the resumed run indistinguishable from the uninterrupted one.
+        ``cold=False`` (in-run recovery restore) rewinds only the physics
+        and motion state: the environment — counters, fired faults, RNG
+        consumption — does not rewind with it, which is also what keeps a
+        deterministic injected fault from replaying forever.
+        """
+        cfg = self.config
+        if meta["workload"] != self.workload_name:
+            raise CheckpointError(
+                f"checkpoint is for workload {meta['workload']!r}, "
+                f"this simulation runs {self.workload_name!r}"
+            )
+        if int(meta["nranks"]) != cfg.nranks:
+            raise CheckpointError(
+                f"checkpoint was taken with nranks={meta['nranks']}, "
+                f"this simulation has nranks={cfg.nranks}"
+            )
+        self._restore_fields(
+            {k: v for k, v in arrays.items() if "/" not in k}
+        )
+        # Blade meshes restore to their exact checkpointed coordinates
+        # (not a re-rotation: an accumulated single rotation is not
+        # bitwise-identical to the step-by-step product of rotations).
+        for i, (mesh, rot) in enumerate(
+            zip(self.system.blades, self.system.rotations)
+        ):
+            mesh.coords[:] = arrays[f"blade{i}/coords"]
+            rot.angle = float(meta["rotor_angles"][i])
+            mesh.update_metrics()
+        self.comp.update_connectivity()
+        for eq in self.systems:
+            eq.reset_solver_caches()
+        self.step_index = int(meta["step_index"])
+        cfg.dt = float(meta["dt"])
+        if cold:
+            self.divergence_norms = [
+                float(v) for v in meta["divergence_norms"]
+            ]
+            self.world.rng.bit_generator.state = meta["rng_state"]
+            if self.world.fault_injector is not None and meta.get("injector"):
+                self.world.fault_injector.load_state(meta["injector"])
+            self.world.metrics.load_state(meta["metrics"])
+
+    def write_checkpoint(self) -> str:
+        """Durably checkpoint the current state; returns the file path."""
+        mgr = self._checkpoint_manager()
+        with self.tracer.span("checkpoint", step=self.step_index):
+            # Count the write *before* capturing telemetry state: the
+            # restored counter then equals the uninterrupted run's value
+            # at the same step (counter parity is part of the bitwise-
+            # resume guarantee).
+            self.world.metrics.counter("resilience.checkpoint.writes").inc()
+            arrays, meta = self._capture_durable_state()
+            path = mgr.save(self.step_index, arrays, meta)
+        self.world.hub.emit("checkpoint", step=self.step_index, path=path)
+        return path
+
+    def _load_restart(self, source: str) -> None:
+        """Cold-start restore from a checkpoint file or directory."""
+        with self.tracer.span("restart", source=source):
+            if os.path.isdir(source):
+                mgr = CheckpointManager(
+                    source,
+                    keep=self.config.checkpoint_keep,
+                    injector=self.world.fault_injector,
+                    metrics=self.world.metrics,
+                )
+                arrays, meta, path = mgr.load_latest_good()
+            else:
+                arrays, meta = self._checkpoint_manager().load(source)
+                path = source
+            self._restore_durable_state(arrays, meta, cold=True)
+        # After load_state replaced the registry: this increment is new
+        # activity of the restarted process, not checkpointed state.
+        self.world.metrics.counter(
+            "resilience.checkpoint.restores", source="cold"
+        ).inc()
+        self.world.hub.emit(
+            "restart", step=self.step_index, path=path, source="cold"
+        )
+
+    def _try_checkpoint_restore(self, failure: SolverFailure) -> bool:
+        """Last recovery rung: restore the newest good durable checkpoint.
+
+        Runs when a failure has already exhausted the solver ladder and
+        the in-memory rollback budget.  Bounded by
+        ``recovery.max_checkpoint_restores`` per run; returns False when
+        disabled, exhausted, or no loadable checkpoint exists (the
+        failure then surfaces to the caller).
+        """
+        policy = self.config.recovery
+        if not (policy.enabled and policy.rollback):
+            return False
+        if self._checkpoint_restores >= policy.max_checkpoint_restores:
+            return False
+        if not self.config.checkpoint_every:
+            return False
+        try:
+            arrays, meta, path = self._checkpoint_manager().load_latest_good()
+        except CheckpointError:
+            return False
+        self._checkpoint_restores += 1
+        rewound_from = self.step_index
+        self._restore_durable_state(arrays, meta, cold=False)
+        self.world.metrics.counter(
+            "resilience.checkpoint.restores", source="recovery"
+        ).inc()
+        event = RecoveryEvent(
+            equation=failure.equation,
+            kind=failure.kind,
+            action="checkpoint_restore",
+            attempt=self._checkpoint_restores,
+            success=True,
+            detail=(
+                f"step {rewound_from} -> {self.step_index} "
+                f"({os.path.basename(path)})"
+            ),
+        )
+        self.world.hub.emit("recovery", **event.to_dict())
+        self.world.hub.emit(
+            "restart", step=self.step_index, path=path, source="recovery"
+        )
+        return True
 
     def effective_viscosity(self) -> np.ndarray:
         """Molecular + turbulence-scalar eddy viscosity."""
@@ -437,6 +653,7 @@ class NaluWindSimulation:
                     self._rollback(checkpoint, failure, retries)
         finally:
             self.config.dt = dt0
+        self.step_index += 1
         self.step_snapshots.append(collect_phase_aggregates(self.world))
 
     def _step_body(self) -> None:
@@ -470,14 +687,44 @@ class NaluWindSimulation:
         self.scalar_old = self.scalar_field.copy()
 
     def run(self, n_steps: int) -> SimulationReport:
-        """Advance ``n_steps`` and return the run report."""
-        for _ in range(n_steps):
-            self.step()
+        """Advance ``n_steps`` and return the run report.
+
+        With ``config.checkpoint_every > 0`` a durable checkpoint is
+        written after every Nth completed step, and a
+        :class:`SolverFailure` that exhausts the in-memory rollback
+        budget is retried once more from the newest good checkpoint
+        (bounded by ``recovery.max_checkpoint_restores``).
+
+        On the first ``run()`` after a cold restart (``restart_from``),
+        ``n_steps`` is the *total* step count from t=0 — the run advances
+        only the remaining steps, so restarted and uninterrupted runs are
+        invoked identically.  Subsequent calls advance ``n_steps`` more,
+        as always.
+        """
+        cfg = self.config
+        if self._resume_total:
+            self._resume_total = False
+            advance = max(0, int(n_steps) - self.step_index)
+        else:
+            advance = int(n_steps)
+        target = self.step_index + advance
+        while self.step_index < target:
+            try:
+                self.step()
+            except SolverFailure as failure:
+                if not self._try_checkpoint_restore(failure):
+                    raise
+                continue
+            if (
+                cfg.checkpoint_every
+                and self.step_index % cfg.checkpoint_every == 0
+            ):
+                self.write_checkpoint()
         report = SimulationReport(
             config=self.config,
             workload=self.workload_name,
             total_nodes=self.comp.n,
-            n_steps=n_steps,
+            n_steps=advance,
             step_snapshots=list(self.step_snapshots),
             solve_iterations={
                 eq.name: [r.iterations for r in eq.solve_records]

@@ -78,6 +78,37 @@ class FieldManager:
         for name, old in self._old.items():
             old[...] = self._fields[name]
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copies of every field array, keyed for checkpointing.
+
+        Current-time arrays are keyed by name, old-time arrays by
+        ``name/old``; values are copies so the snapshot is immune to
+        further stepping.
+        """
+        out = {name: arr.copy() for name, arr in self._fields.items()}
+        out.update(
+            {f"{name}/old": arr.copy() for name, arr in self._old.items()}
+        )
+        return out
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore registered fields from a :meth:`state_dict` snapshot.
+
+        Writes in place (``[...]``) so aliases handed out by
+        :meth:`register`/:meth:`get` observe the restored values; a
+        snapshot entry for an unregistered field is an error — restart
+        must not invent state registration never created.
+        """
+        for key, arr in state.items():
+            name, _, slot = key.partition("/")
+            target = self._old if slot == "old" else self._fields
+            if name not in target:
+                raise KeyError(
+                    f"checkpoint field {key!r} is not registered on mesh "
+                    f"{self.mesh.name!r}"
+                )
+            target[name][...] = arr
+
     def nbytes(self) -> int:
         """Total bytes of field storage (device-memory accounting)."""
         return sum(a.nbytes for a in self._fields.values()) + sum(

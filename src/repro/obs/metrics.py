@@ -158,6 +158,47 @@ class MetricsRegistry:
             mine.max = max(mine.max, h.max)
         return self
 
+    # -- checkpoint state ------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-ready full instrument state for checkpointing.
+
+        Unlike :meth:`as_dict` (a rendered export), this round-trips
+        through :meth:`load_state` losslessly — label keys are kept
+        structured and gauge written-ness is preserved — so a restarted
+        run's registry is indistinguishable from the uninterrupted one.
+        """
+        return {
+            "counters": [
+                [name, list(map(list, key)), c.value]
+                for (name, key), c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [name, list(map(list, key)), g.value, g._written]
+                for (name, key), g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [name, list(map(list, key)), h.count, h.sum, h.min, h.max]
+                for (name, key), h in sorted(self._histograms.items())
+            ],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Replace all instruments with a :meth:`state_dict` snapshot."""
+        self.clear()
+        for name, key, value in state.get("counters", []):
+            k = (name, tuple(tuple(p) for p in key))
+            self._counters[k] = Counter(value=value)
+        for name, key, value, written in state.get("gauges", []):
+            k = (name, tuple(tuple(p) for p in key))
+            self._gauges[k] = Gauge(value=value, _written=written)
+        for name, key, count, total, mn, mx in state.get("histograms", []):
+            k = (name, tuple(tuple(p) for p in key))
+            self._histograms[k] = Histogram(
+                count=count, sum=total, min=mn, max=mx
+            )
+        return None
+
     # -- export --------------------------------------------------------------
 
     def as_dict(self) -> dict[str, dict[str, Any]]:

@@ -1,22 +1,39 @@
-"""Resilience subsystem: guards, recovery policies, fault injection.
+"""Resilience subsystem: guards, recovery policies, faults, checkpoints.
 
-Three layers turn solver failure from silent corruption into a
-first-class, recoverable event:
+Four layers turn solver failure and lost simulation state from silent
+corruption into first-class, recoverable events:
 
 * :mod:`~repro.resilience.guards` — NaN/Inf validation of Krylov
   iterates and solution fields, raising a structured
-  :class:`SolverFailure`;
+  :class:`SolverFailure`; :func:`classify_failure` maps transport/I-O
+  exceptions onto the same failure taxonomy;
 * :mod:`~repro.resilience.policy` — the configurable escalation ladder
   (:class:`RecoveryPolicy`) and event/summary types;
 * :mod:`~repro.resilience.injection` — seeded deterministic
-  :class:`FaultInjector` so recovery is exercised in tests, not trusted.
+  :class:`FaultInjector` so recovery is exercised in tests, not trusted;
+* :mod:`~repro.resilience.checkpoint` — the durable
+  ``repro.checkpoint/1`` format and :class:`CheckpointManager`
+  retention ring for bitwise-exact restart.
 
-See ``docs/resilience.md`` for the failure taxonomy and config knobs.
+See ``docs/resilience.md`` for the failure taxonomy and config knobs,
+and ``docs/checkpoint_restart.md`` for the checkpoint format and restart
+workflow.
 """
 
+from repro.resilience.checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointNotFoundError,
+    CheckpointWriteError,
+    deserialize_checkpoint,
+    read_checkpoint,
+    serialize_checkpoint,
+)
 from repro.resilience.guards import (
     FAILURE_KINDS,
     SolverFailure,
+    classify_failure,
     iterate_is_finite,
     operands_are_finite,
     validate_fields,
@@ -36,13 +53,22 @@ __all__ = [
     "FAULT_KINDS",
     "LADDER_ACTIONS",
     "RECOVERY_ACTIONS",
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointNotFoundError",
+    "CheckpointWriteError",
     "FaultInjector",
     "FaultSpec",
     "RecoveryEvent",
     "RecoveryPolicy",
     "SolverFailure",
+    "classify_failure",
+    "deserialize_checkpoint",
     "iterate_is_finite",
     "operands_are_finite",
+    "read_checkpoint",
+    "serialize_checkpoint",
     "summarize_events",
     "validate_fields",
     "validate_iterate",

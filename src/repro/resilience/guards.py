@@ -22,6 +22,10 @@ FAILURE_KINDS = (
     "nonfinite_operands",
     "nonfinite_fields",
     "non_convergence",
+    "comm_deadlock",
+    "comm_corrupt",
+    "comm_retries_exhausted",
+    "io_error",
 )
 
 
@@ -130,6 +134,36 @@ def validate_fields(
                 kind="nonfinite_fields",
                 phase=phase,
             )
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception to its :data:`FAILURE_KINDS` entry.
+
+    Structured failures carry their own ``kind``; transport errors from
+    :mod:`repro.comm.errors` map onto the ``comm_*``/``io_error`` kinds
+    so the recovery ladder and the run report route on the same taxonomy
+    regardless of which layer raised.
+    """
+    from repro.comm.errors import (
+        CommCorruptionError,
+        CommDeadlockError,
+        CommError,
+        CommRetriesExhaustedError,
+    )
+
+    if isinstance(exc, SolverFailure) and exc.kind:
+        return exc.kind
+    if isinstance(exc, CommRetriesExhaustedError):
+        return "comm_retries_exhausted"
+    if isinstance(exc, CommCorruptionError):
+        return "comm_corrupt"
+    if isinstance(exc, CommDeadlockError):
+        return "comm_deadlock"
+    if isinstance(exc, CommError):
+        return "comm_retries_exhausted"
+    if isinstance(exc, OSError):
+        return "io_error"
+    return "non_convergence"
 
 
 def operands_are_finite(A: Any, b: Any) -> bool:

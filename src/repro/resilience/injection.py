@@ -11,7 +11,16 @@ faith:
 * ``matrix_corrupt`` — overwrite assembled operator values on one rank
   (bit-flip / soft-error analogue), either with NaN or a large scale;
 * ``solver_stall`` — force the Nth Krylov solve of an equation to report
-  non-convergence (preconditioner-gone-stale analogue).
+  non-convergence (preconditioner-gone-stale analogue);
+* ``message_drop`` — lose the Nth point-to-point message on the wire
+  (the receiver sees an empty channel and must re-request);
+* ``message_corrupt`` — flip bits in the Nth point-to-point payload
+  in flight (the envelope checksum catches it on receive);
+* ``message_duplicate`` — deliver the Nth point-to-point message twice
+  (the receiver must discard the stale copy by sequence number);
+* ``io_fail`` — fail checkpoint I/O operations in a window of
+  ``entries`` consecutive attempts starting at the Nth (a flaky
+  parallel-filesystem analogue; the writer retries with backoff).
 
 All randomness flows from one seeded generator and opportunities are
 counted deterministically, so a faulted run replays bit-identically
@@ -27,7 +36,15 @@ from typing import Any
 import numpy as np
 
 #: Supported fault kinds.
-FAULT_KINDS = ("exchange_nan", "matrix_corrupt", "solver_stall")
+FAULT_KINDS = (
+    "exchange_nan",
+    "matrix_corrupt",
+    "solver_stall",
+    "message_drop",
+    "message_corrupt",
+    "message_duplicate",
+    "io_fail",
+)
 
 
 @dataclass(frozen=True)
@@ -37,14 +54,18 @@ class FaultSpec:
     Attributes:
         kind: one of :data:`FAULT_KINDS`.
         at: fire at the Nth (0-based) opportunity of this kind — the Nth
-            ``alltoallv`` call, the Nth matching assembly, or the Nth
-            matching solve.
+            ``alltoallv`` call, the Nth matching assembly, the Nth
+            matching solve, the Nth point-to-point post, or the Nth
+            checkpoint I/O operation.
         equation: restrict ``matrix_corrupt``/``solver_stall`` to one
             equation system (None = any).
         mode: ``matrix_corrupt`` only — ``"nan"`` poisons entries,
             ``"scale"`` multiplies them by ``magnitude``.
         magnitude: scale factor for ``mode="scale"``.
-        entries: number of values to corrupt per firing.
+        entries: number of values to corrupt per firing; for ``io_fail``,
+            the number of *consecutive* I/O attempts (starting at
+            ``at``) that fail — a window, so retry-with-backoff is
+            actually exercised.
     """
 
     kind: str
@@ -100,6 +121,35 @@ class FaultInjector:
     def exhausted(self) -> bool:
         """True when every scheduled fault has fired."""
         return all(st.fired for st in self._state)
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-ready opportunity/RNG state for checkpointing.
+
+        A cold restart restores this so the restarted run sees the same
+        remaining fault schedule (and RNG stream) the interrupted run
+        would have — faults that already fired stay fired.
+        """
+        return {
+            "seen": [st.seen for st in self._state],
+            "fired_flags": [st.fired for st in self._state],
+            "rng_state": self.rng.bit_generator.state,
+            "fired": [dict(f) for f in self.fired],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (specs must match)."""
+        if len(state["seen"]) != len(self._state):
+            raise ValueError(
+                f"fault-injector state has {len(state['seen'])} specs, "
+                f"injector has {len(self._state)}"
+            )
+        for st, seen, fired in zip(
+            self._state, state["seen"], state["fired_flags"]
+        ):
+            st.seen = int(seen)
+            st.fired = bool(fired)
+        self.rng.bit_generator.state = state["rng_state"]
+        self.fired = [dict(f) for f in state["fired"]]
 
     def _match(self, kind: str, equation: str | None = None) -> FaultSpec | None:
         """Count one opportunity; return the spec due to fire, if any."""
@@ -191,6 +241,95 @@ class FaultInjector:
             {"kind": "solver_stall", "phase": phase, "equation": equation}
         )
         return True
+
+    def on_post(self, envelope: Any) -> list[Any]:
+        """Transform one posted point-to-point envelope.
+
+        Called by :meth:`SimWorld._post` for every p2p message.  Returns
+        the envelopes that actually land in the mailbox: ``[]`` for a
+        drop, ``[env]`` untouched, ``[env]`` with a corrupted payload
+        (the checksum is *not* restamped — that is the point), or
+        ``[env, dup]`` for a duplicate delivery.
+
+        Each post is one opportunity per p2p fault kind, and every
+        retry re-post is a fresh post — so consecutive ``at`` values
+        schedule faults on successive delivery attempts of the same
+        logical message.
+        """
+        spec = self._match("message_drop")
+        if spec is not None:
+            self.fired.append(
+                {
+                    "kind": "message_drop",
+                    "phase": envelope.phase,
+                    "src": envelope.src,
+                    "dst": envelope.dst,
+                    "seq": envelope.seq,
+                }
+            )
+            return []
+        spec = self._match("message_corrupt")
+        if spec is not None:
+            values = self._value_array(envelope.payload)
+            if values is not None:
+                values = values.copy()
+                idx = self.rng.integers(
+                    values.size, size=min(spec.entries, values.size)
+                )
+                # Additive perturbation, never NaN: corruption on the
+                # wire must be caught by the checksum, not by downstream
+                # NaN guards doing the transport layer's job.
+                values[idx] += spec.magnitude
+                envelope.payload = self._replace_values(
+                    envelope.payload, values
+                )
+                self.fired.append(
+                    {
+                        "kind": "message_corrupt",
+                        "phase": envelope.phase,
+                        "src": envelope.src,
+                        "dst": envelope.dst,
+                        "seq": envelope.seq,
+                        "entries": int(idx.size),
+                    }
+                )
+            return [envelope]
+        spec = self._match("message_duplicate")
+        if spec is not None:
+            self.fired.append(
+                {
+                    "kind": "message_duplicate",
+                    "phase": envelope.phase,
+                    "src": envelope.src,
+                    "dst": envelope.dst,
+                    "seq": envelope.seq,
+                }
+            )
+            return [envelope, envelope]
+        return [envelope]
+
+    def on_io(self, op: str, path: str = "") -> bool:
+        """True when the current checkpoint I/O attempt should fail.
+
+        Unlike the one-shot kinds, ``io_fail`` fails a *window* of
+        ``entries`` consecutive opportunities starting at ``at``, so the
+        writer's retry-with-backoff loop is exercised (and can be
+        exhausted by making the window wider than the retry budget).
+        """
+        for spec, st in zip(self.specs, self._state):
+            if spec.kind != "io_fail" or st.fired:
+                continue
+            st.seen += 1
+            n = st.seen - 1
+            if n < spec.at:
+                continue
+            if n >= spec.at + spec.entries - 1:
+                st.fired = True
+            self.fired.append(
+                {"kind": "io_fail", "op": op, "path": path, "opportunity": n}
+            )
+            return True
+        return False
 
     # -- payload helpers -----------------------------------------------------
 

@@ -12,8 +12,11 @@ The policy here escalates through progressively more expensive actions:
    restart/iteration budgets;
 3. ``fallback_method`` — switch to the alternate Krylov method through
    :func:`~repro.krylov.api.make_krylov_solver`;
-4. ``rollback_restep`` (simulation level) — restore the checkpointed
-   field state, rewind the rotor, halve the timestep, and re-step.
+4. ``rollback_restep`` (simulation level) — restore the in-memory
+   field state, rewind the rotor, halve the timestep, and re-step;
+5. ``checkpoint_restore`` (run level) — when even re-stepping fails,
+   restore the newest good durable checkpoint from the retention ring
+   and re-advance (see ``docs/checkpoint_restart.md``).
 
 Each exhausted ladder raises a structured
 :class:`~repro.resilience.guards.SolverFailure` for the next layer up;
@@ -28,8 +31,8 @@ from typing import Any
 #: Solver-level ladder actions, in default escalation order.
 LADDER_ACTIONS = ("rebuild_precond", "expand_krylov", "fallback_method")
 
-#: All recovery actions, including the simulation-level one.
-RECOVERY_ACTIONS = LADDER_ACTIONS + ("rollback_restep",)
+#: All recovery actions, including the simulation-level ones.
+RECOVERY_ACTIONS = LADDER_ACTIONS + ("rollback_restep", "checkpoint_restore")
 
 
 @dataclass
@@ -56,6 +59,12 @@ class RecoveryPolicy:
         dt_backoff: timestep multiplier per rollback (0 < x < 1).
         max_step_retries: rollback re-steps allowed per time step before
             the failure is surfaced to the caller.
+        comm_max_retries: re-deliveries the halo-exchange protocol
+            attempts per logical message (after the first try) before a
+            transport failure escalates into the ladder.
+        max_checkpoint_restores: restores from the durable checkpoint
+            ring allowed per run once in-memory rollback is exhausted
+            (0 disables the final rung).
     """
 
     enabled: bool = True
@@ -66,6 +75,8 @@ class RecoveryPolicy:
     rollback: bool = True
     dt_backoff: float = 0.5
     max_step_retries: int = 2
+    comm_max_retries: int = 2
+    max_checkpoint_restores: int = 1
 
     def validate(self) -> None:
         """Raise on inconsistent settings."""
@@ -81,6 +92,10 @@ class RecoveryPolicy:
             raise ValueError("dt_backoff must be in (0, 1)")
         if self.max_step_retries < 0:
             raise ValueError("max_step_retries must be >= 0")
+        if self.comm_max_retries < 0:
+            raise ValueError("comm_max_retries must be >= 0")
+        if self.max_checkpoint_restores < 0:
+            raise ValueError("max_checkpoint_restores must be >= 0")
 
 
 @dataclass

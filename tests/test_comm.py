@@ -5,9 +5,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.comm import SimWorld, build_exchange_pattern
+from repro.comm import (
+    CommCorruptionError,
+    CommDeadlockError,
+    CommRetriesExhaustedError,
+    MailboxLeakError,
+    MessageEnvelope,
+    SimWorld,
+    build_exchange_pattern,
+    payload_checksum,
+)
 from repro.comm.exchange import exchange_halo, owner_of
 from repro.comm.traffic import TrafficLog
+from repro.resilience import FaultInjector, FaultSpec
 
 
 class TestTrafficLog:
@@ -242,3 +252,272 @@ class TestExchangePattern:
         ext = exchange_halo(w, pat, owned)
         for r in range(nranks):
             assert np.allclose(ext[r], x[ext_ids[r]])
+
+
+def two_rank_halo():
+    """The basic 2-rank pattern/owned fixture used by the retry tests."""
+    pat = build_exchange_pattern(
+        np.array([0, 3, 6]), [np.array([4]), np.array([0, 2])]
+    )
+    owned = [np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0])]
+    return pat, owned
+
+
+class TestEnvelopeTransport:
+    def test_payload_checksum_detects_bit_flip(self):
+        a = np.arange(8.0)
+        before = payload_checksum(a)
+        a[3] += 1e-12
+        assert payload_checksum(a) != before
+
+    def test_payload_checksum_covers_tuple_payloads(self):
+        idx = np.arange(3)
+        vals = np.ones(3)
+        before = payload_checksum((idx, idx, vals))
+        vals[1] = 2.0
+        assert payload_checksum((idx, idx, vals)) != before
+
+    def test_envelope_stamped_and_verified(self):
+        payload = np.arange(4.0)
+        env = MessageEnvelope(seq=0, src=0, dst=1, phase="p", payload=payload)
+        assert env.checksum == payload_checksum(payload)
+        assert env.verify()
+        env.payload = payload + 1.0  # corrupted in flight
+        assert not env.verify()
+
+    def test_per_channel_sequence_numbers(self):
+        w = SimWorld(3)
+        w.comm(0).send(1, 1.0)
+        w.comm(0).send(1, 2.0)
+        w.comm(2).send(1, 3.0)
+        assert [e.seq for e in w._mailboxes[(0, 1)]] == [0, 1]
+        assert [e.seq for e in w._mailboxes[(2, 1)]] == [0]
+        for src in (0, 0, 2):
+            w.comm(1).recv(src)
+
+    def test_deadlock_error_carries_pending_snapshot(self):
+        """Regression: a hung recv names the phase and every in-flight
+        message, not just 'no message posted'."""
+        w = SimWorld(3)
+        with w.phase_scope("assembly/scatter"):
+            w.comm(0).send(1, np.ones(2))
+        with w.phase_scope("halo/x"):
+            with pytest.raises(CommDeadlockError) as ei:
+                w.comm(1).recv(2)
+        err = ei.value
+        assert err.phase == "halo/x"
+        assert (err.src, err.dst) == (2, 1)
+        assert err.pending == [
+            {
+                "src": 0,
+                "dst": 1,
+                "phase": "assembly/scatter",
+                "count": 1,
+                "seqs": [0],
+            }
+        ]
+        d = err.to_dict()
+        assert d["type"] == "CommDeadlockError"
+        assert d["pending"][0]["phase"] == "assembly/scatter"
+
+    def test_duplicate_discarded_by_sequence_number(self):
+        w = SimWorld(2)
+        w.fault_injector = FaultInjector(
+            (FaultSpec("message_duplicate", at=0),)
+        )
+        payload = np.arange(3.0)
+        w.comm(0).send(1, payload)
+        assert w.pending_messages() == 2  # both copies hit the wire
+        assert np.array_equal(w.comm(1).recv(0), payload)
+        # The stale copy is drained, not delivered (and not leaked).
+        assert w.pending_messages() == 0
+        assert (
+            w.metrics.counter_total("comm.duplicates_discarded") == 1
+        )
+        # The duplicate transmitted twice, so traffic records two sends.
+        assert w.traffic.message_count() == 2
+
+    def test_corruption_detected_on_receive(self):
+        w = SimWorld(2)
+        w.fault_injector = FaultInjector(
+            (FaultSpec("message_corrupt", at=0),)
+        )
+        with w.phase_scope("halo/x"):
+            w.comm(0).send(1, np.ones(4))
+            with pytest.raises(CommCorruptionError) as ei:
+                w.comm(1).recv(0)
+        err = ei.value
+        assert (err.src, err.dst, err.seq) == (0, 1, 0)
+        assert err.expected_checksum != err.actual_checksum
+        assert w.metrics.counter_total("comm.corrupt_detected") == 1
+
+    def test_drop_leaves_channel_empty(self):
+        w = SimWorld(2)
+        w.fault_injector = FaultInjector((FaultSpec("message_drop", at=0),))
+        w.comm(0).send(1, np.ones(4))
+        assert w.pending_messages() == 0
+        # The transmission was still recorded: it was lost on the wire,
+        # not at the source.
+        assert w.traffic.message_count() == 1
+        with pytest.raises(CommDeadlockError):
+            w.comm(1).recv(0)
+
+
+class TestHaloRetryProtocol:
+    def test_dropped_message_is_retried_transparently(self):
+        pat, owned = two_rank_halo()
+        w = SimWorld(2)
+        w.fault_injector = FaultInjector((FaultSpec("message_drop", at=0),))
+        ext = exchange_halo(w, pat, owned)
+        assert ext[0].tolist() == [5.0]
+        assert ext[1].tolist() == [1.0, 3.0]
+        assert w.metrics.counter_total("comm.retries") == 1
+        assert w.metrics.counter_total("comm.drops_detected") == 1
+        assert w.pending_messages() == 0
+
+    def test_corrupted_message_is_retried_transparently(self):
+        pat, owned = two_rank_halo()
+        w = SimWorld(2)
+        w.fault_injector = FaultInjector(
+            (FaultSpec("message_corrupt", at=0),)
+        )
+        ext = exchange_halo(w, pat, owned)
+        assert ext[1].tolist() == [1.0, 3.0]
+        assert w.metrics.counter_total("comm.retries") == 1
+        assert w.metrics.counter_total("comm.corrupt_detected") == 1
+
+    def test_duplicate_is_transparent_to_halo(self):
+        pat, owned = two_rank_halo()
+        w = SimWorld(2)
+        w.fault_injector = FaultInjector(
+            (FaultSpec("message_duplicate", at=0),)
+        )
+        ext = exchange_halo(w, pat, owned)
+        assert ext[0].tolist() == [5.0]
+        assert ext[1].tolist() == [1.0, 3.0]
+        assert w.metrics.counter_total("comm.duplicates_discarded") == 1
+        assert w.pending_messages() == 0
+
+    def test_faulted_halo_matches_nominal_bitwise(self):
+        pat, owned = two_rank_halo()
+        nominal = exchange_halo(SimWorld(2), pat, owned)
+        w = SimWorld(2)
+        w.fault_injector = FaultInjector(
+            (
+                FaultSpec("message_drop", at=0),
+                FaultSpec("message_corrupt", at=1),
+            )
+        )
+        recovered = exchange_halo(w, pat, owned)
+        for a, b in zip(nominal, recovered):
+            assert a.tobytes() == b.tobytes()
+
+    def test_retry_budget_exhaustion_raises_structured_error(self):
+        pat, owned = two_rank_halo()
+        w = SimWorld(2)
+        w.comm_max_retries = 0
+        w.fault_injector = FaultInjector((FaultSpec("message_drop", at=0),))
+        with w.phase_scope("halo/x"):
+            with pytest.raises(CommRetriesExhaustedError) as ei:
+                exchange_halo(w, pat, owned)
+        err = ei.value
+        assert (err.src, err.dst) == (0, 1)
+        assert err.attempts == 1
+        assert err.last_error == "dropped"
+        assert err.phase == "halo/x"
+
+    def test_shape_mismatch_raises_corruption(self):
+        pat, owned = two_rank_halo()
+        w = SimWorld(2)
+        # Out-of-band junk on the (0, 1) channel reaches the halo
+        # receive first: checksum-valid but the wrong shape.
+        w._post(0, 1, np.zeros(7))
+        with pytest.raises(CommCorruptionError):
+            exchange_halo(w, pat, owned)
+
+
+class TestLeakDetection:
+    def test_barrier_passes_when_all_messages_consumed(self):
+        w = SimWorld(2)
+        w.comm(0).send(1, 1.0)
+        w.comm(1).recv(0)
+        w.barrier()
+
+    def test_barrier_raises_on_leaked_message(self):
+        w = SimWorld(2)
+        w.comm(0).send(1, 1.0)
+        with pytest.raises(MailboxLeakError):
+            w.barrier()
+
+    def test_leak_report_carries_phase_label(self):
+        """Regression: a leaked mailbox is reported with the phase its
+        oldest undelivered message was posted under."""
+        w = SimWorld(3)
+        with w.phase_scope("assembly/scatter"):
+            w.comm(0).send(2, np.ones(2))
+            w.comm(0).send(2, np.ones(2))
+        with pytest.raises(MailboxLeakError) as ei:
+            w.assert_no_pending(context="end-of-phase")
+        err = ei.value
+        assert err.pending == [
+            {
+                "src": 0,
+                "dst": 2,
+                "phase": "assembly/scatter",
+                "count": 2,
+                "seqs": [0, 1],
+            }
+        ]
+        assert "assembly/scatter" in str(err)
+        assert "end-of-phase" in str(err)
+
+    def test_leak_check_opt_out(self):
+        w = SimWorld(2)
+        w.leak_check = False
+        w.comm(0).send(1, 1.0)
+        w.barrier()  # no leak check: legacy permissive behavior
+        assert w.pending_messages() == 1
+
+    def test_no_leaks_in_halo_workload(self):
+        rng = np.random.default_rng(3)
+        pat, _ = two_rank_halo()
+        w = SimWorld(2)
+        for round_ in range(4):
+            owned = [rng.standard_normal(3) for _ in range(2)]
+            with w.phase_scope(f"halo/round{round_}"):
+                exchange_halo(w, pat, owned)
+            assert w.pending_messages() == 0
+            w.barrier()
+
+    def test_no_leaks_in_amg_setup_workload(self):
+        from scipy import sparse
+
+        from repro.amg import AMGHierarchy, AMGPreconditioner
+        from repro.linalg import ParCSRMatrix, ParVector
+
+        n = 32
+        A = sparse.diags(
+            [-1.0, 2.0, -1.0], [-1, 0, 1], (n, n), format="csr"
+        )
+        w = SimWorld(4)
+        offs = np.linspace(0, n, 5).astype(np.int64)
+        Ap = ParCSRMatrix(w, A, offs)
+        with w.phase_scope("amg/setup"):
+            hierarchy = AMGHierarchy(Ap)
+        w.barrier()
+        pre = AMGPreconditioner(hierarchy)
+        with w.phase_scope("amg/cycle"):
+            pre.apply(ParVector(w, offs, np.ones(n)))
+        w.barrier()
+        assert w.pending_messages() == 0
+
+    def test_no_leaks_across_simulation_step(self):
+        """Assembly + halo + AMG workloads of a full step leave no
+        message in flight: the end-of-run barrier's leak check passes."""
+        from repro.core.simulation import NaluWindSimulation
+
+        sim = NaluWindSimulation("turbine_tiny")
+        assert sim.world.leak_check
+        sim.run(1)
+        assert sim.world.pending_messages() == 0
+        sim.world.barrier()

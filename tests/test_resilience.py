@@ -9,12 +9,22 @@ from repro.core.config import SimulationConfig
 from repro.core.simulation import NaluWindSimulation
 from repro.krylov.api import KrylovResult
 from repro.linalg import ParVector
-from repro.comm import SimWorld
+from repro.comm import (
+    CommCorruptionError,
+    CommDeadlockError,
+    CommError,
+    CommRetriesExhaustedError,
+    MessageEnvelope,
+    SimWorld,
+)
 from repro.resilience import (
+    CheckpointWriteError,
     FaultInjector,
     FaultSpec,
+    RECOVERY_ACTIONS,
     RecoveryPolicy,
     SolverFailure,
+    classify_failure,
     iterate_is_finite,
     operands_are_finite,
     summarize_events,
@@ -383,3 +393,223 @@ class TestCacheInvalidation:
         rep = sim.run(2)
         assert rep.recovery["recoveries"] == {"rebuild_precond": 1}
         assert len(sim.amg_setups) == n_setups + 1
+
+
+class TestFailureClassification:
+    @pytest.mark.parametrize(
+        "exc,expected",
+        [
+            (CommDeadlockError("x"), "comm_deadlock"),
+            (CommCorruptionError("x"), "comm_corrupt"),
+            (CommRetriesExhaustedError("x"), "comm_retries_exhausted"),
+            (CommError("x"), "comm_retries_exhausted"),
+            (OSError("disk on fire"), "io_error"),
+            (RuntimeError("anything else"), "non_convergence"),
+        ],
+    )
+    def test_exception_mapping(self, exc, expected):
+        assert classify_failure(exc) == expected
+
+    def test_solver_failure_keeps_its_kind(self):
+        f = SolverFailure("x", equation="pressure", kind="nonfinite_iterate")
+        assert classify_failure(f) == "nonfinite_iterate"
+
+
+class TestInjectorState:
+    def post_envelope(self, inj, seq=0):
+        env = MessageEnvelope(
+            seq=seq, src=0, dst=1, phase="p", payload=np.ones(4)
+        )
+        return inj.on_post(env)
+
+    def test_io_fail_window(self):
+        inj = FaultInjector((FaultSpec("io_fail", at=1, entries=2),))
+        assert not inj.on_io("write")  # opportunity 0: before the window
+        assert inj.on_io("write")  # 1
+        assert inj.on_io("write")  # 2: window end, spec fires out
+        assert inj.exhausted()
+        assert not inj.on_io("write")
+        assert [f["opportunity"] for f in inj.fired] == [1, 2]
+
+    def test_state_dict_roundtrip_resumes_schedule(self):
+        specs = (
+            FaultSpec("message_drop", at=2),
+            FaultSpec("io_fail", at=1, entries=2),
+        )
+        inj = FaultInjector(specs, seed=3)
+        self.post_envelope(inj)  # drop opportunity 0
+        inj.on_io("write")  # io opportunity 0
+        inj.on_io("write")  # io opportunity 1: fires
+        snapshot = inj.state_dict()
+        assert json.dumps(snapshot)  # JSON-ready for the checkpoint header
+
+        resumed = FaultInjector(specs, seed=999)  # seed replaced by state
+        resumed.load_state(snapshot)
+        assert resumed.fired == inj.fired
+        # The restored schedule continues exactly where it left off: drop
+        # has seen 1 of its 3 opportunities, io fires once more.
+        assert resumed.on_io("write")
+        assert self.post_envelope(resumed, seq=1) != []  # opportunity 1
+        assert self.post_envelope(resumed, seq=2) == []  # opportunity 2 fires
+        assert resumed.exhausted()
+
+    def test_load_state_rejects_spec_mismatch(self):
+        inj = FaultInjector((FaultSpec("message_drop"),))
+        other = FaultInjector(
+            (FaultSpec("message_drop"), FaultSpec("io_fail"))
+        )
+        with pytest.raises(ValueError):
+            other.load_state(inj.state_dict())
+
+    def test_policy_validates_new_knobs(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(comm_max_retries=-1).validate()
+        with pytest.raises(ValueError):
+            RecoveryPolicy(max_checkpoint_restores=-1).validate()
+        assert "checkpoint_restore" in RECOVERY_ACTIONS
+
+
+class TestTransportFaultMatrix:
+    """End-to-end matrix: every p2p/I-O fault kind x recovery outcome."""
+
+    @pytest.fixture(scope="class")
+    def nominal(self):
+        sim = NaluWindSimulation("turbine_tiny")
+        sim.run(2)
+        return sim
+
+    @pytest.mark.parametrize(
+        "kind,at,counter",
+        [
+            ("message_drop", 3, "comm.drops_detected"),
+            ("message_corrupt", 5, "comm.corrupt_detected"),
+            ("message_duplicate", 2, "comm.duplicates_discarded"),
+        ],
+    )
+    def test_transport_fault_is_transparent(self, nominal, kind, at, counter):
+        """Within the retry budget, transport faults never reach the
+        solver: the run finishes bit-identical to the nominal one."""
+        sim = NaluWindSimulation("turbine_tiny", fault_cfg(kind, at))
+        rep = sim.run(2)
+        assert sim.world.fault_injector.exhausted()
+        assert rep.recovery == {}
+        assert sim.world.metrics.counter_total(counter) == 1
+        expected_retries = 0 if kind == "message_duplicate" else 1
+        assert (
+            sim.world.metrics.counter_total("comm.retries")
+            == expected_retries
+        )
+        for name in ("velocity", "pressure_field", "scalar_field"):
+            assert (
+                getattr(sim, name).tobytes()
+                == getattr(nominal, name).tobytes()
+            ), name
+
+    @pytest.mark.parametrize("kind", ["message_drop", "message_corrupt"])
+    def test_exhausted_retries_recover_via_ladder(self, kind):
+        """With a zero retry budget a single transport fault escalates:
+        the solve aborts, in-flight channels are purged, and the ladder's
+        first rung re-drives the exchange successfully."""
+        cfg = fault_cfg(
+            kind, 3, recovery=RecoveryPolicy(comm_max_retries=0)
+        )
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        rep = sim.run(2)
+        assert rep.recovery["failures"] == 1
+        assert rep.recovery["recoveries"] == {"rebuild_precond": 1}
+        assert {e.get("kind") for e in rep.recovery["events"]} == {
+            "comm_retries_exhausted"
+        }
+        assert sim.world.metrics.counter_total("comm.purged") >= 1
+        assert np.all(np.isfinite(sim.velocity))
+
+    def test_exhausted_retries_disabled_recovery_raises(self):
+        cfg = fault_cfg(
+            "message_drop",
+            3,
+            recovery=RecoveryPolicy(comm_max_retries=0, enabled=False),
+        )
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        with pytest.raises(SolverFailure) as ei:
+            sim.run(2)
+        f = ei.value
+        assert f.kind == "comm_retries_exhausted"
+        assert f.equation
+        assert f.phase.endswith("/solve")
+
+    def test_io_fault_window_is_retried(self, tmp_path):
+        cfg = fault_cfg(
+            "io_fail",
+            0,
+            checkpoint_every=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        cfg.faults = (FaultSpec("io_fail", at=0, entries=2),)
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        rep = sim.run(2)
+        m = sim.world.metrics
+        assert m.counter_total("resilience.checkpoint.writes") == 2
+        assert m.counter_total("resilience.checkpoint.write_retries") == 2
+        assert rep.recovery["checkpoint"]["write_retries"] == 2
+
+    def test_io_window_wider_than_budget_fails_run(self, tmp_path):
+        cfg = SimulationConfig(
+            faults=(FaultSpec("io_fail", at=0, entries=10),),
+            fault_seed=7,
+            checkpoint_every=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        with pytest.raises(CheckpointWriteError):
+            sim.run(1)
+        assert (
+            sim.world.metrics.counter_total(
+                "resilience.checkpoint.write_failures"
+            )
+            == 1
+        )
+
+    def test_checkpoint_restore_rung(self, tmp_path):
+        """A failure that exhausts the in-memory rollback budget rewinds
+        to the newest durable checkpoint and completes the run."""
+        cfg = fault_cfg(
+            "exchange_nan",
+            40,
+            recovery=RecoveryPolicy(max_step_retries=0),
+            checkpoint_every=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        rep = sim.run(2)
+        assert sim.step_index == 2
+        assert rep.recovery["recoveries"] == {"checkpoint_restore": 1}
+        assert rep.recovery["checkpoint"]["restores"] == 1
+        restore = next(
+            e
+            for e in rep.recovery["events"]
+            if e.get("action") == "checkpoint_restore"
+        )
+        assert restore["success"] is True
+        assert "step 1 -> 1" in restore["detail"]
+        assert np.all(np.isfinite(sim.velocity))
+
+    def test_checkpoint_restore_budget_bounds_restores(self, tmp_path):
+        """With the restore budget already spent, the failure surfaces."""
+        cfg = fault_cfg(
+            "exchange_nan",
+            40,
+            recovery=RecoveryPolicy(
+                max_step_retries=0, max_checkpoint_restores=0
+            ),
+            checkpoint_every=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        sim = NaluWindSimulation("turbine_tiny", cfg)
+        with pytest.raises(SolverFailure):
+            sim.run(2)
+        assert (
+            sim.world.metrics.counter_total(
+                "resilience.checkpoint.restores"
+            )
+            == 0
+        )
