@@ -18,7 +18,11 @@ import pytest
 
 from repro.core.config import SimulationConfig
 from repro.core.simulation import NaluWindSimulation
-from repro.harness import emit_telemetry, run_strong_scaling
+from repro.harness import (
+    emit_telemetry,
+    export_sweep_profiles,
+    run_strong_scaling,
+)
 from repro.mesh import make_turbine_low
 
 
@@ -90,10 +94,14 @@ def fig3_baseline_sweep():
 
 @pytest.fixture(scope="session")
 def fig8_sweep():
-    """turbine_dual strong-scaling sweep."""
-    return run_strong_scaling(
-        "turbine_dual", DUAL_RANKS, n_steps=BENCH_STEPS, config=optimized_config()
+    """turbine_dual strong-scaling sweep (profiled: comm-wait vs ranks)."""
+    cfg = optimized_config()
+    cfg.profile = True
+    points = run_strong_scaling(
+        "turbine_dual", DUAL_RANKS, n_steps=BENCH_STEPS, config=cfg
     )
+    export_sweep_profiles(points, "fig8")
+    return points
 
 
 @pytest.fixture(scope="session")
@@ -109,8 +117,10 @@ def fig9_sweep():
     for r in REFINED_RANKS:
         cfg = optimized_config()
         cfg.nranks = r
+        cfg.profile = True
         sim = NaluWindSimulation(make_turbine_refined(refine=REFINE), cfg)
         points.append(ScalingPoint(ranks=r, report=sim.run(max(1, BENCH_STEPS // 2))))
+    export_sweep_profiles(points, "fig9")
     return points
 
 

@@ -7,6 +7,9 @@ Commands:
 * ``trace`` — run a workload and emit the machine-readable
   :class:`~repro.obs.telemetry.RunTelemetry` JSON document (or the
   human-readable span-tree / flat views).
+* ``profile`` — run a workload with the per-rank timeline profiler and
+  emit the ``repro.profile/1`` JSON document, a Chrome trace-event file
+  (loadable in Perfetto / ``chrome://tracing``), or a text summary.
 * ``scaling`` — run a strong-scaling sweep and print the priced curves.
 * ``partition`` — compare RCB and multilevel decompositions (Figs. 4-5).
 * ``project`` — print the §6 exascale capability projection.
@@ -99,6 +102,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             with open(args.output, "w") as fh:
                 fh.write(text + "\n")
         print(f"wrote {args.format} telemetry to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import NaluWindSimulation, SimulationConfig
+    from repro.obs import render_profile_summary, to_chrome_trace
+
+    cfg = SimulationConfig(
+        nranks=args.ranks,
+        partition_method=args.partition,
+        assembly_variant=args.assembly,
+        profile=True,
+        profile_machine=args.machine,
+    )
+    sim = NaluWindSimulation(args.workload, cfg)
+    report = sim.run(args.steps)
+    profile = report.profile
+    if args.format == "json":
+        text = profile.to_json()
+    elif args.format == "chrome":
+        text = json.dumps(
+            to_chrome_trace(sim.world.profiler, workload=sim.workload_name),
+            sort_keys=True,
+        )
+    else:
+        text = render_profile_summary(profile)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.format} profile to {args.output}")
     else:
         print(text)
     return 0
@@ -253,9 +290,39 @@ def main(argv: list[str] | None = None) -> int:
         help="span-tree depth cap for --format tree (-1 = unlimited)",
     )
     p_tr.add_argument(
-        "--output", default="", help="write to this path instead of stdout"
+        "--output", "-o", default="",
+        help="write to this path instead of stdout",
     )
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_pf = sub.add_parser(
+        "profile",
+        help="run a workload under the per-rank timeline profiler",
+    )
+    p_pf.add_argument("workload", nargs="?", default="turbine_tiny")
+    p_pf.add_argument("--steps", type=int, default=1)
+    p_pf.add_argument("--ranks", type=int, default=4)
+    p_pf.add_argument(
+        "--machine", default="summit-gpu",
+        help="machine model pricing the simulated rank clocks",
+    )
+    p_pf.add_argument(
+        "--partition", default="parmetis", choices=["parmetis", "rcb"]
+    )
+    p_pf.add_argument(
+        "--assembly",
+        default="optimized",
+        choices=["optimized", "sparse_add", "general"],
+    )
+    p_pf.add_argument(
+        "--format", default="json", choices=["json", "chrome", "summary"],
+        help="repro.profile/1 JSON, Chrome trace events, or text summary",
+    )
+    p_pf.add_argument(
+        "--output", "-o", default="",
+        help="write to this path instead of stdout",
+    )
+    p_pf.set_defaults(func=_cmd_profile)
 
     p_sc = sub.add_parser("scaling", help="strong-scaling sweep")
     p_sc.add_argument("--workload", default="turbine_tiny")

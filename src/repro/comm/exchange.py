@@ -179,6 +179,22 @@ def exchange_halo(
                     dst=dst,
                 )
             ext[dst][positions] = payload
+    if world.profiler is not None:
+        # Neighborhood sync: each rank's wait is bounded by its own
+        # senders, not the global straggler.  The logical exchange is
+        # priced once; fault-injected re-posts stay visible through the
+        # comm.retries counters instead of re-pricing the timeline.
+        out_msgs = [rx.n_neighbors_send for rx in pattern.per_rank]
+        out_bytes = [
+            8.0 * sum(int(idx.size) for _dst, idx in rx.send_to)
+            for rx in pattern.per_rank
+        ]
+        in_msgs = [rx.n_neighbors_recv for rx in pattern.per_rank]
+        in_bytes = [8.0 * rx.n_ext for rx in pattern.per_rank]
+        senders = [[src for src, _pos in rx.recv_from] for rx in pattern.per_rank]
+        world.profiler.on_p2p_round(
+            "halo", out_msgs, out_bytes, in_msgs, in_bytes, senders
+        )
     return ext
 
 

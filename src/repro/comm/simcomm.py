@@ -133,6 +133,10 @@ class SimWorld:
         # Leak checking at barriers: a posted-but-unreceived message at a
         # synchronization point is a protocol bug (see assert_no_pending).
         self.leak_check = True
+        # Optional per-rank timeline profiler (repro.obs.timeline); when
+        # set, phase transitions and world-level sync points notify it so
+        # it can advance simulated rank clocks and attribute comm waits.
+        self.profiler: Any = None
         self.rng = np.random.default_rng(seed)
         self._phase_stack: list[str] = ["default"]
         self._mailboxes: dict[tuple[int, int], deque[MessageEnvelope]] = {}
@@ -156,6 +160,8 @@ class SimWorld:
         misattributing all subsequent traffic.
         """
         self._phase_stack.append(label)
+        if self.profiler is not None:
+            self.profiler.on_phase_begin(label)
         try:
             yield
         finally:
@@ -190,6 +196,8 @@ class SimWorld:
                 f"scope {label!r}; traffic since the mismatch is "
                 "misattributed"
             )
+        if self.profiler is not None:
+            self.profiler.on_phase_end(popped)
 
     # -- rank handles ------------------------------------------------------
 
@@ -419,6 +427,28 @@ class SimWorld:
         if self.fault_injector is not None:
             self.fault_injector.on_alltoallv(recv, phase=self.phase)
         self.hub.emit("exchange", kind="alltoallv", phase=self.phase)
+        if self.profiler is not None:
+            out_msgs = [0] * self.size
+            out_bytes = [0.0] * self.size
+            in_msgs = [0] * self.size
+            in_bytes = [0.0] * self.size
+            for src in range(self.size):
+                for dst in range(self.size):
+                    payload = send[src][dst]
+                    if payload is None or dst == src:
+                        continue
+                    if isinstance(payload, np.ndarray) and payload.size == 0:
+                        continue
+                    nbytes = _nbytes(payload)
+                    out_msgs[src] += 1
+                    out_bytes[src] += nbytes
+                    in_msgs[dst] += 1
+                    in_bytes[dst] += nbytes
+            # Repartitioning all-to-alls are globally synchronizing
+            # (senders_to=None): every rank waits for the straggler.
+            self.profiler.on_p2p_round(
+                "alltoallv", out_msgs, out_bytes, in_msgs, in_bytes, None
+            )
         return recv
 
     def allreduce(
@@ -436,6 +466,8 @@ class SimWorld:
             nbytes=_nbytes(values[0]),
             phase=self.phase,
         )
+        if self.profiler is not None:
+            self.profiler.on_collective("allreduce", _nbytes(values[0]))
         return op(values)
 
     def allgather(self, values: Sequence[Any]) -> list[Any]:
@@ -451,6 +483,8 @@ class SimWorld:
             nbytes=_nbytes(values[0]),
             phase=self.phase,
         )
+        if self.profiler is not None:
+            self.profiler.on_collective("allgather", _nbytes(values[0]))
         return list(values)
 
     def barrier(self) -> None:
@@ -464,6 +498,8 @@ class SimWorld:
             self.assert_no_pending(context="barrier")
         self.traffic.record_collective("barrier", self.size, 0, self.phase)
         self.hub.emit("exchange", kind="barrier", phase=self.phase)
+        if self.profiler is not None:
+            self.profiler.on_collective("barrier", 0.0)
 
 
 class SimComm:

@@ -8,6 +8,7 @@ variant, inner GS sweeps, partitioner), and run control.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.amg.hierarchy import AMGOptions
 from repro.resilience.injection import FaultSpec
@@ -107,6 +108,16 @@ class SimulationConfig:
     checkpoint_keep: int = 2
     restart_from: str = ""
 
+    # Observability (docs/observability.md).  ``profile`` attaches a
+    # per-rank TimelineProfiler to the world, pricing simulated rank
+    # clocks on ``profile_machine``'s rates; the run report then carries
+    # a ``repro.profile/1`` document.  ``clock`` overrides the Tracer's
+    # wall-clock source (tests inject a deterministic fake clock so span
+    # durations are assertable); None keeps ``time.perf_counter``.
+    profile: bool = False
+    profile_machine: str = "summit-gpu"
+    clock: Callable[[], float] | None = None
+
     def validate(self) -> None:
         """Raise on inconsistent settings."""
         if self.partition_method not in ("parmetis", "rcb"):
@@ -148,6 +159,14 @@ class SimulationConfig:
             raise ValueError(
                 "checkpoint_dir must be set when checkpoint_every > 0"
             )
+        if not isinstance(self.profile, bool):
+            raise ValueError("profile must be a bool")
+        if self.profile and not self.profile_machine:
+            raise ValueError(
+                "profile_machine must be set when profile is on"
+            )
+        if self.clock is not None and not callable(self.clock):
+            raise ValueError("clock must be callable (or None)")
         self.recovery.validate()
         for spec in self.faults:
             spec.validate()

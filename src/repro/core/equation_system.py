@@ -322,6 +322,13 @@ class EquationSystem:
         self.world.hub.emit(
             "solve", equation=self.name, record=record, result=result
         )
+        if self.world.profiler is not None:
+            self.world.profiler.on_marker(
+                "solve",
+                equation=self.name,
+                iterations=result.iterations,
+                converged=bool(result.converged),
+            )
         return result
 
     # -- failure handling -------------------------------------------------------

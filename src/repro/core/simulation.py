@@ -41,9 +41,13 @@ from repro.obs.telemetry import (
     RunTelemetry,
     collect_run_telemetry,
 )
+from repro.obs.profile import RunProfile, collect_run_profile
+from repro.obs.timeline import TimelineProfiler
 from repro.obs.tracer import Tracer
 from repro.overset.assembler import NodeStatus
-from repro.perf.cost import PhaseAggregate, collect_phase_aggregates
+from repro.perf.cost import CostModel, PhaseAggregate, collect_phase_aggregates
+from repro.perf.machines import get_machine
+from repro.perf.roofline import roofline_join
 from repro.resilience.checkpoint import (
     CheckpointError,
     CheckpointManager,
@@ -72,6 +76,9 @@ class SimulationReport:
     recovery: dict[str, Any] = field(default_factory=dict)
     #: Full machine-readable telemetry (attached by ``run()``).
     telemetry: RunTelemetry | None = None
+    #: Per-rank profile document (attached by ``run()`` when
+    #: ``config.profile`` is on; None otherwise).
+    profile: RunProfile | None = None
 
     def step_deltas(self) -> list[dict[str, PhaseAggregate]]:
         """Per-step phase aggregates (differences of the cumulatives)."""
@@ -108,9 +115,23 @@ class NaluWindSimulation:
             self.workload_name = workload.name
             self.system = workload
         self.world = SimWorld(self.config.nranks)
+        # Per-rank timeline profiling: the profiler must attach before
+        # CompositeMesh construction so partitioning/graph phases land on
+        # the simulated rank clocks too.
+        if self.config.profile:
+            machine = get_machine(self.config.profile_machine)
+            self.world.profiler = TimelineProfiler(
+                self.config.nranks,
+                pricer=CostModel(machine),
+                ops=self.world.ops,
+            )
         # One tracer backs the phase timers, so flat per-phase totals and
         # the nested span timeline come from the same measurements.
-        self.tracer = Tracer()
+        self.tracer = (
+            Tracer(clock=self.config.clock)
+            if self.config.clock is not None
+            else Tracer()
+        )
         self.timers = PhaseTimers(tracer=self.tracer)
         # AMG setup stats arrive through the world's observer hub (the
         # hierarchy is built deep inside the pressure preconditioner).
@@ -658,6 +679,8 @@ class NaluWindSimulation:
 
     def _step_body(self) -> None:
         cfg = self.config
+        if self.world.profiler is not None:
+            self.world.profiler.on_marker("step", index=self.step_index)
         with self.timers.measure("motion"):
             with self.world.phase_scope("motion"):
                 self.system.advance_rotor(cfg.dt)
@@ -665,6 +688,8 @@ class NaluWindSimulation:
         for eq in self.systems:
             eq.update_graph()
         for k in range(cfg.picard_iterations):
+            if self.world.profiler is not None:
+                self.world.profiler.on_marker("picard", index=k)
             with self.tracer.span("picard", index=k):
                 self.picard_iteration()
         self._guard_fields()
@@ -735,5 +760,19 @@ class NaluWindSimulation:
             divergence_norms=list(self.divergence_norms),
             recovery=self._recovery_summary(),
         )
+        # Profile before telemetry: publish_metrics runs here, so the
+        # telemetry metrics snapshot carries the profile.* gauges.
+        if self.world.profiler is not None:
+            report.profile = self._collect_profile()
         report.telemetry = collect_run_telemetry(self, report)
         return report
+
+    def _collect_profile(self) -> RunProfile:
+        """Finalize the timeline, join the roofline, publish gauges."""
+        prof = self.world.profiler
+        prof.finalize()
+        join = roofline_join(self.world.ops, prof, prof.pricer)
+        profile = collect_run_profile(self, roofline=join)
+        profile.publish_metrics(self.world.metrics)
+        self.world.hub.emit("profile", profile=profile)
+        return profile

@@ -14,6 +14,12 @@ from repro.harness.projection import (
     paper_projection,
     project_capability,
 )
+from repro.harness.profiling import (
+    emit_profile,
+    export_sweep_profiles,
+    profile_run,
+    write_profile_json,
+)
 from repro.harness.report import (
     emit,
     emit_telemetry,
@@ -22,28 +28,36 @@ from repro.harness.report import (
     series_table,
 )
 from repro.obs import (
+    RunProfile,
     RunTelemetry,
     render_flat_report,
+    render_profile_summary,
     render_span_tree,
 )
 
 __all__ = [
     "CapabilityPoint",
     "NLISeries",
+    "RunProfile",
     "RunTelemetry",
     "ScalingPoint",
     "default_work_scale",
     "emit",
+    "emit_profile",
     "emit_telemetry",
+    "export_sweep_profiles",
     "equation_breakdown",
     "format_table",
     "loglog_chart",
     "nli_series",
     "nli_step_times",
     "paper_projection",
+    "profile_run",
     "project_capability",
     "render_flat_report",
+    "render_profile_summary",
     "render_span_tree",
     "run_strong_scaling",
     "series_table",
+    "write_profile_json",
 ]

@@ -15,7 +15,12 @@ one structured stream:
   and benchmarks attach observers without monkey-patching;
 * :class:`~repro.obs.telemetry.RunTelemetry` — the machine-readable run
   report (``python -m repro trace``), JSON round-trippable;
-* :mod:`~repro.obs.export` — flat/tree text renderers and JSON writers.
+* :mod:`~repro.obs.export` — flat/tree text renderers and JSON writers;
+* :class:`~repro.obs.timeline.TimelineProfiler` — per-rank simulated
+  timelines with comm-wait attribution and critical-path extraction,
+  plus a Chrome-trace exporter (Perfetto-loadable);
+* :class:`~repro.obs.profile.RunProfile` — the ``repro.profile/1``
+  document (``python -m repro profile``), JSON round-trippable.
 
 The package deliberately imports nothing from the rest of ``repro`` so
 any layer (comm, krylov, amg, core, harness) can depend on it without
@@ -34,12 +39,19 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    RunProfile,
+    collect_run_profile,
+    render_profile_summary,
+)
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA,
     AMGSetupStats,
     RunTelemetry,
     collect_run_telemetry,
 )
+from repro.obs.timeline import Segment, TimelineProfiler, to_chrome_trace
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
@@ -49,12 +61,19 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ObserverHub",
+    "PROFILE_SCHEMA",
+    "RunProfile",
     "RunTelemetry",
+    "Segment",
     "Span",
     "TELEMETRY_SCHEMA",
+    "TimelineProfiler",
     "Tracer",
+    "collect_run_profile",
     "collect_run_telemetry",
     "render_flat_report",
+    "render_profile_summary",
     "render_span_tree",
+    "to_chrome_trace",
     "write_telemetry_json",
 ]

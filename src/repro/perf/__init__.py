@@ -23,6 +23,7 @@ from repro.perf.machines import (
     get_machine,
 )
 from repro.perf.opcounts import KernelTally, OpRecorder
+from repro.perf.roofline import roofline_join
 
 __all__ = [
     "CostModel",
@@ -40,4 +41,5 @@ __all__ = [
     "SUMMIT_GPU",
     "collect_phase_aggregates",
     "get_machine",
+    "roofline_join",
 ]

@@ -78,6 +78,14 @@ class OpRecorder:
         """Ranks with recorded work in ``phase``."""
         return sorted(r for ph, r in self._tallies if ph == phase)
 
+    def kernels(self, phase: str) -> list[str]:
+        """Kernel names with recorded work in ``phase``."""
+        return sorted({k for ph, k in self._kernel_tallies if ph == phase})
+
+    def kernel_tally(self, phase: str, kernel: str) -> KernelTally:
+        """Rank-summed work for ``(phase, kernel)`` (zero tally if unseen)."""
+        return self._kernel_tallies.get((phase, kernel), KernelTally())
+
     def max_rank_tally(self, phase: str) -> KernelTally:
         """Element-wise maximum over ranks for ``phase``.
 

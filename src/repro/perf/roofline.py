@@ -1,0 +1,99 @@
+"""Roofline join: OpRecorder tallies × timeline durations.
+
+STREAmS-2 (arXiv:2304.05494) validates each kernel against a roofline
+model per backend; the analogue here joins the two measurement layers we
+already have.  For every ``(phase, kernel)`` with recorded work the join
+prices the *average rank's* share of that work on the timeline's own
+cost model and reports
+
+* ``achieved_bw_frac`` / ``achieved_flop_frac`` — the bandwidth / FLOP
+  rate the kernel sustains over its modeled duration, as a fraction of
+  the machine's effective roofs (both ≤ 1 by construction: the modeled
+  duration is at least each roofline leg); and
+* ``bound`` — which leg dominates (``bandwidth``, ``flops`` or
+  ``launch``), i.e. where on the roofline the kernel sits.
+
+Per phase it also reports ``coverage``: the summed kernel model times
+over the timeline's mean-rank compute duration for that phase.  Coverage
+near 1 means the instrumented kernels explain the phase; a shortfall
+flags uninstrumented work.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.perf.opcounts import KernelTally, OpRecorder
+
+
+def roofline_join(
+    ops: OpRecorder,
+    profiler: Any,
+    pricer: Any,
+) -> dict[str, dict[str, Any]]:
+    """Join kernel tallies with timeline phase durations.
+
+    Args:
+        ops: recorder holding the run's cumulative kernel work.
+        profiler: a finalized ``TimelineProfiler`` (duck-typed: needs
+            ``nranks`` and ``phase_compute_stats()``).
+        pricer: cost model with ``kernel_time``, ``work_scale`` and a
+            ``machine`` spec — normally the profiler's own pricer, so
+            achieved times and model times share one set of rates.
+
+    Returns:
+        ``{phase: {"kernels": {name: {...}}, "model_time_s",
+        "timeline_mean_s", "coverage"}}`` for every phase with kernels.
+    """
+    nranks = max(1, int(profiler.nranks))
+    ws = float(getattr(pricer, "work_scale", 1.0))
+    machine = pricer.machine
+    cstats = profiler.phase_compute_stats()
+
+    out: dict[str, dict[str, Any]] = {}
+    for phase in ops.phases():
+        names = ops.kernels(phase)
+        if not names:
+            continue
+        kernels: dict[str, dict[str, Any]] = {}
+        model_total = 0.0
+        for name in names:
+            t = ops.kernel_tally(phase, name)
+            # Average-rank share: kernel tallies are rank-summed, and the
+            # timeline's compute segments price each rank's own share, so
+            # the mean share is the comparable per-rank quantity.
+            share = KernelTally(
+                flops=t.flops / nranks,
+                bytes=t.bytes / nranks,
+                launches=max(1, round(t.launches / nranks)),
+            )
+            mt = pricer.kernel_time(share)
+            model_total += mt
+            if mt > 0.0:
+                bw = share.bytes * ws / mt
+                fl = share.flops * ws / mt
+            else:  # pragma: no cover - zero-work kernel
+                bw = fl = 0.0
+            launch_leg = share.launches * machine.launch_overhead
+            flop_leg = share.flops * ws / machine.eff_flops if machine.eff_flops > 0 else 0.0
+            bw_leg = share.bytes * ws / machine.eff_bw if machine.eff_bw > 0 else 0.0
+            legs = {"launch": launch_leg, "flops": flop_leg, "bandwidth": bw_leg}
+            kernels[name] = {
+                "flops": share.flops,
+                "bytes": share.bytes,
+                "launches": float(share.launches),
+                "model_time_s": mt,
+                "achieved_bw_frac": bw / machine.eff_bw if machine.eff_bw > 0 else 0.0,
+                "achieved_flop_frac": (
+                    fl / machine.eff_flops if machine.eff_flops > 0 else 0.0
+                ),
+                "bound": max(legs, key=lambda k: (legs[k], k)),
+            }
+        mean = cstats.get(phase, {}).get("mean_s", 0.0)
+        out[phase] = {
+            "kernels": kernels,
+            "model_time_s": model_total,
+            "timeline_mean_s": mean,
+            "coverage": model_total / mean if mean > 0.0 else 0.0,
+        }
+    return out

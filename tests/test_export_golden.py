@@ -1,0 +1,105 @@
+"""Golden-output tests for the obs/export.py text renderers.
+
+The renderers were previously only exercised incidentally (through CLI
+smoke tests); these tests pin the exact text for a small hand-built
+:class:`~repro.obs.telemetry.RunTelemetry`, so format drift — column
+widths, number formatting, ordering — is an explicit decision, not an
+accident.  The inputs are synthetic (no simulation run), so every
+number in the goldens is exact.
+"""
+
+from __future__ import annotations
+
+from repro.obs import RunTelemetry, render_flat_report, render_span_tree
+from repro.obs.tracer import Span
+
+
+def _telemetry() -> RunTelemetry:
+    step = Span(name="step", start=0.0, duration=0.012, attrs={"index": 0})
+    picard = Span(name="picard", start=0.002, duration=0.008, attrs={"index": 0})
+    solve = Span(name="momentum/solve", start=0.004, duration=0.005)
+    picard.children.append(solve)
+    step.children.append(picard)
+    return RunTelemetry(
+        workload="unit",
+        nranks=2,
+        n_steps=1,
+        total_nodes=100,
+        spans=[step.to_dict()],
+        phases={
+            "momentum/solve": {"total_s": 0.005, "count": 1},
+            "motion": {"total_s": 0.001, "count": 1},
+        },
+        solves={
+            "momentum": {
+                "iterations": [3, 5],
+                "residual_norms": [1.25e-6, 4.5e-7],
+            }
+        },
+        amg_setups=[
+            {
+                "num_levels": 4,
+                "grid_complexity": 1.625,
+                "operator_complexity": 2.25,
+            }
+        ],
+        traffic={
+            "total_messages": 12,
+            "total_message_bytes": 4096,
+            "total_collectives": 7,
+        },
+    )
+
+
+GOLDEN_TREE = """\
+span tree: unit (2 ranks, 1 steps)
+----------------------------------
+step                                         12.000 ms  (self 4.000 ms) [index=0]
+  picard                                      8.000 ms  (self 3.000 ms) [index=0]
+    momentum/solve                            5.000 ms  (self 5.000 ms)"""
+
+
+GOLDEN_TREE_DEPTH1 = """\
+span tree: unit (2 ranks, 1 steps)
+----------------------------------
+step                                         12.000 ms  (self 4.000 ms) [index=0]
+  picard                                      8.000 ms  (self 3.000 ms) [index=0]"""
+
+
+GOLDEN_FLAT = """\
+run telemetry: unit (2 ranks, 1 steps, 100 nodes)
+=================================================
+phase                                   total [s]   count
+  momentum/solve                           0.0050       1
+  motion                                   0.0010       1
+equation       solves  mean iters  last residual
+  momentum          2        4.00       4.500e-07
+amg: 1 setups; last hierarchy 4 levels, grid complexity 1.62, operator complexity 2.25
+traffic: 12 messages / 4096 B p2p, 7 collectives"""
+
+
+def test_render_span_tree_golden():
+    assert render_span_tree(_telemetry()) == GOLDEN_TREE
+
+
+def test_render_span_tree_depth_cap():
+    assert render_span_tree(_telemetry(), max_depth=1) == GOLDEN_TREE_DEPTH1
+
+
+def test_render_span_tree_empty():
+    t = RunTelemetry(workload="unit", nranks=1, n_steps=0)
+    out = render_span_tree(t)
+    assert out.splitlines()[-1] == "(no spans recorded)"
+
+
+def test_render_flat_report_golden():
+    assert render_flat_report(_telemetry()) == GOLDEN_FLAT
+
+
+def test_render_flat_report_no_optional_sections():
+    t = RunTelemetry(workload="unit", nranks=1, n_steps=1, total_nodes=10)
+    out = render_flat_report(t)
+    # No AMG / traffic lines when those sections are empty.
+    assert "amg:" not in out
+    assert "traffic:" not in out
+    assert out.startswith("run telemetry: unit (1 ranks, 1 steps, 10 nodes)")
