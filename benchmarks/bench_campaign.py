@@ -1,0 +1,141 @@
+"""Cross-job assembly-plan sharing: setup cost with and without the cache.
+
+A topology-shared sweep (same workload and mesh, only the seed differs)
+runs twice, job by job, in one process:
+
+* **unshared** — every job builds its assembly plans cold (each
+  equation's first assembly takes the capture slow path);
+* **shared** — jobs attach one long-lived
+  :class:`~repro.assembly.plan.PlanCache` (what the campaign runner
+  gives its serial mode and each pool worker), so every job after the
+  first adopts the prior jobs' captured plans and goes straight to the
+  value-only replay path.
+
+The figure of merit is the per-job ``*/global_assembly`` wall time on
+the jobs in a position to share (all but the first).  Emits
+``BENCH_campaign.json`` under ``benchmarks/results/`` with both series,
+the adoption counters, and the measured speedup; the campaign
+acceptance floor is 2x.
+
+Usage::
+
+    python benchmarks/bench_campaign.py [--jobs 6] [--ranks 2] [--steps 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro import NaluWindSimulation, SimulationConfig  # noqa: E402
+from repro.assembly.plan import PlanCache  # noqa: E402
+from repro.harness import format_table  # noqa: E402
+from repro.harness.report import RESULTS_DIR  # noqa: E402
+
+WORKLOAD = "turbine_tiny"
+
+
+def assembly_seconds(report) -> float:
+    """Total Stage-3 global-assembly wall time across equations."""
+    return sum(
+        t for phase, t in report.wall_times.items()
+        if phase.endswith("global_assembly")
+    )
+
+
+def run_sweep(n_jobs: int, ranks: int, steps: int, share: bool):
+    """Run the sweep serially; returns per-job (assembly_s, adoptions)."""
+    cache = PlanCache() if share else None
+    rows = []
+    for seed in range(n_jobs):
+        # One Picard iteration isolates the setup cost: each equation
+        # assembles exactly once per step, so the cold capture is not
+        # diluted by within-step replays (which are fast either way).
+        cfg = SimulationConfig(
+            nranks=ranks, world_seed=seed, picard_iterations=1
+        )
+        sim = NaluWindSimulation(WORKLOAD, cfg)
+        if cache is not None:
+            sim.world.plan_cache = cache
+        report = sim.run(steps)
+        adopted = sim.world.metrics.counter_total("assembly.plan_shared")
+        rows.append((assembly_seconds(report), float(adopted)))
+    return rows
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=6)
+    ap.add_argument("--ranks", type=int, default=2)
+    ap.add_argument("--steps", type=int, default=1)
+    args = ap.parse_args()
+
+    unshared = run_sweep(args.jobs, args.ranks, args.steps, share=False)
+    shared = run_sweep(args.jobs, args.ranks, args.steps, share=True)
+
+    # Jobs in a position to adopt: all but the first (which is cold in
+    # both modes and seeds the cache).
+    cold_mean = sum(r[0] for r in unshared[1:]) / (args.jobs - 1)
+    warm_mean = sum(r[0] for r in shared[1:]) / (args.jobs - 1)
+    speedup = cold_mean / warm_mean if warm_mean > 0 else float("inf")
+
+    rows = []
+    for i in range(args.jobs):
+        rows.append(
+            [
+                i,
+                f"{unshared[i][0] * 1e3:.2f}",
+                f"{shared[i][0] * 1e3:.2f}",
+                f"{unshared[i][0] / shared[i][0]:.2f}"
+                if shared[i][0] > 0 else "-",
+                int(shared[i][1]),
+            ]
+        )
+    print(
+        format_table(
+            f"cross-job plan sharing: {WORKLOAD}, {args.ranks} ranks, "
+            f"{args.steps} step(s), global_assembly wall per job",
+            ["job", "unshared [ms]", "shared [ms]", "speedup", "adoptions"],
+            rows,
+            note=(
+                f"sharing-eligible jobs (2..{args.jobs}): "
+                f"{cold_mean * 1e3:.2f} ms -> {warm_mean * 1e3:.2f} ms "
+                f"({speedup:.2f}x; acceptance floor 2x)"
+            ),
+        )
+    )
+
+    doc = {
+        "format": "repro.bench.campaign/1",
+        "workload": WORKLOAD,
+        "ranks": args.ranks,
+        "steps": args.steps,
+        "jobs": args.jobs,
+        "unshared_assembly_s": [r[0] for r in unshared],
+        "shared_assembly_s": [r[0] for r in shared],
+        "shared_adoptions": [r[1] for r in shared],
+        "eligible_unshared_mean_s": cold_mean,
+        "eligible_shared_mean_s": warm_mean,
+        "speedup": speedup,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_campaign.json")
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {out}")
+
+    if speedup < 2.0:
+        print(f"FAIL: shared-setup speedup {speedup:.2f}x < 2x floor")
+        return 1
+    print(f"OK: shared-setup speedup {speedup:.2f}x >= 2x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

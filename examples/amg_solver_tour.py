@@ -18,7 +18,7 @@ from repro.core.operators import boundary_mass_flux, mass_flux
 from repro.harness import format_table
 from repro.krylov import GMRES
 from repro.linalg import ParCSRMatrix
-from repro.smoothers import make_sgs2
+from repro.smoothers import make_smoother
 
 
 def build_pressure_matrix():
@@ -67,7 +67,7 @@ def main() -> None:
     M = ParCSRMatrix(w, A.A, A.row_offsets)
     b = M.new_vector(rhs.data.copy())
     res = GMRES(
-        M, preconditioner=make_sgs2(M), tol=1e-8, max_iters=300
+        M, preconditioner=make_smoother("sgs2", M), tol=1e-8, max_iters=300
     ).solve(b)
     rows.append(["SGS2 only", "-", "-", res.iterations, str(res.converged)])
 

@@ -36,8 +36,11 @@ RL002   raw scatter-write: ``np.add.at``/``np.subtract.at`` in the
 RL003   unseeded RNG: ``default_rng()`` with no seed — every stochastic
         choice in the stack must replay bit-identically.
 RL004   direct smoother construction: naming a smoother class instead of
-        :func:`repro.smoothers.make_smoother` (the static promotion of
-        the runtime ``DeprecationWarning``).
+        :func:`repro.smoothers.make_smoother`.  The factory is the only
+        supported entry point — the ``make_sgs2`` helper and the
+        deprecated result aliases were removed — so this rule statically
+        promotes the remaining runtime ``DeprecationWarning`` on direct
+        class construction.
 RL005   unaccounted kernel: a function in the device-kernel packages
         performs bulk data motion (sort / scatter / segmented reduce)
         with no recording call reachable in its intra-module call

@@ -1,0 +1,39 @@
+"""Campaign service: async job queue, worker pool, result cache.
+
+See ``docs/campaign.md`` for the job model, manifest schema, and cache
+semantics.  The CLI entry point is ``python -m repro campaign``.
+"""
+
+from repro.campaign.job import (
+    CampaignSpec,
+    JobSpec,
+    RESULT_FORMAT,
+    SPEC_FORMAT,
+    canonical_result,
+    field_digest,
+    merge_overrides,
+    set_path,
+)
+from repro.campaign.manifest import (
+    CampaignManifest,
+    MANIFEST_FORMAT,
+    ManifestError,
+)
+from repro.campaign.runner import Campaign
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "Campaign",
+    "CampaignManifest",
+    "CampaignSpec",
+    "JobSpec",
+    "MANIFEST_FORMAT",
+    "ManifestError",
+    "RESULT_FORMAT",
+    "ResultStore",
+    "SPEC_FORMAT",
+    "canonical_result",
+    "field_digest",
+    "merge_overrides",
+    "set_path",
+]

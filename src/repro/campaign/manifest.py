@@ -1,0 +1,132 @@
+"""The ``repro.campaign/1`` manifest: durable per-job campaign state.
+
+One JSON document per campaign directory records the sweep spec and the
+status of every job (``pending`` -> ``running`` -> ``done``/``failed``),
+so a killed campaign is re-entrant: ``campaign resume`` reloads the
+manifest, skips every ``done`` job outright, and re-dispatches the rest
+(``running`` jobs resume from their per-job checkpoint ring when one
+exists).
+
+Every mutation rewrites the whole document atomically (tmp +
+``os.replace``), the same durability idiom as the checkpoint ring — a
+kill at any instant leaves either the old or the new manifest, never a
+torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.campaign.job import CampaignSpec, JobSpec
+
+#: Format tag of the manifest document.
+MANIFEST_FORMAT = "repro.campaign/1"
+
+#: Allowed job states.
+JOB_STATUSES = ("pending", "running", "done", "failed")
+
+
+class ManifestError(RuntimeError):
+    """A manifest file is missing, torn, or from an unknown format."""
+
+
+class CampaignManifest:
+    """Load/mutate/persist one campaign's manifest document."""
+
+    FILENAME = "manifest.json"
+
+    def __init__(self, root: str, spec: CampaignSpec) -> None:
+        self.root = root
+        self.spec = spec
+        self.jobs: dict[str, dict[str, Any]] = {}
+
+    @property
+    def path(self) -> str:
+        """The manifest file's path."""
+        return os.path.join(self.root, self.FILENAME)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The full manifest document."""
+        return {
+            "format": MANIFEST_FORMAT,
+            "name": self.spec.name,
+            "spec": self.spec.to_dict(),
+            "jobs": self.jobs,
+        }
+
+    def save(self) -> None:
+        """Atomically persist the manifest."""
+        os.makedirs(self.root, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    @classmethod
+    def load(cls, root: str) -> "CampaignManifest":
+        """Load an existing campaign directory's manifest."""
+        path = os.path.join(root, cls.FILENAME)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            raise ManifestError(f"no campaign manifest at {path}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ManifestError(f"unreadable manifest {path}: {exc}") from exc
+        if doc.get("format") != MANIFEST_FORMAT:
+            raise ManifestError(
+                f"{path}: unsupported format {doc.get('format')!r} "
+                f"(expected {MANIFEST_FORMAT!r})"
+            )
+        manifest = cls(root, CampaignSpec.from_dict(doc["spec"]))
+        jobs = doc.get("jobs", {})
+        if not isinstance(jobs, dict):
+            raise ManifestError(f"{path}: 'jobs' must be a mapping")
+        manifest.jobs = jobs
+        return manifest
+
+    # -- job bookkeeping -----------------------------------------------------
+
+    def register(self, jobs: list[JobSpec]) -> None:
+        """Ensure every expanded job has a manifest entry.
+
+        Existing entries (a resume) keep their recorded status; an
+        interrupted process may have left jobs ``running`` — those are
+        the resume candidates.
+        """
+        for job in jobs:
+            digest = job.digest()
+            entry = self.jobs.setdefault(
+                digest,
+                {
+                    "status": "pending",
+                    "job": job.to_dict(),
+                },
+            )
+            entry.setdefault("status", "pending")
+            if entry["status"] not in JOB_STATUSES:
+                raise ManifestError(
+                    f"job {digest[:12]}: unknown status {entry['status']!r}"
+                )
+
+    def mark(self, digest: str, status: str, **fields: Any) -> None:
+        """Update one job's status (and extra fields) and persist."""
+        if status not in JOB_STATUSES:
+            raise ValueError(f"unknown job status {status!r}")
+        entry = self.jobs[digest]
+        entry["status"] = status
+        entry.update(fields)
+        self.save()
+
+    def status_counts(self) -> dict[str, int]:
+        """Job counts by status (all statuses present, zero-filled)."""
+        counts = {status: 0 for status in JOB_STATUSES}
+        for entry in self.jobs.values():
+            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+        return counts

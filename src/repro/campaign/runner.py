@@ -1,0 +1,423 @@
+"""Campaign runner: async job queue + worker pool + result cache.
+
+The coordinator expands the sweep spec into jobs, then drains them
+through an asyncio queue with a bounded worker pool:
+
+* ``workers=0`` runs every job in-process (serial, deterministic order);
+* ``workers>0`` dispatches jobs to a ``ProcessPoolExecutor`` — each
+  worker process keeps a long-lived :class:`~repro.assembly.plan
+  .PlanCache`, so consecutive jobs with identical mesh topology adopt
+  each other's captured assembly plans (setup sharing).
+
+Before dispatching, each job's digest is looked up in the
+content-addressed :class:`~repro.campaign.store.ResultStore`; a hit
+serves the stored canonical result without running anything
+(``campaign.cache_hits``).  Completion, failure, and cache status are
+recorded per job in the durable ``repro.campaign/1`` manifest, making a
+killed campaign re-entrant: ``done`` jobs are never re-run, and
+interrupted jobs resume from their per-job checkpoint ring when the spec
+enables checkpointing.
+
+Job results are deterministic (see ``canonical_result``), so a 2-worker
+sweep produces byte-identical stored documents to a serial one —
+``benchmarks/check_campaign_determinism.py`` gates exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.assembly.plan import PlanCache
+from repro.campaign.job import CampaignSpec, JobSpec, canonical_result
+from repro.campaign.manifest import CampaignManifest
+from repro.campaign.store import ResultStore
+from repro.obs.hooks import ObserverHub
+from repro.obs.metrics import MetricsRegistry
+
+#: Per-worker-process plan cache (long-lived across that worker's jobs).
+_PLAN_CACHE: PlanCache | None = None
+
+
+def _worker_plan_cache() -> PlanCache:
+    global _PLAN_CACHE
+    if _PLAN_CACHE is None:
+        _PLAN_CACHE = PlanCache()
+    return _PLAN_CACHE
+
+
+def _init_worker() -> None:
+    """Pool initializer: start each worker with a fresh plan cache.
+
+    Under the fork start method a child would otherwise inherit whatever
+    cache the coordinating process had populated (e.g. from an earlier
+    in-process campaign), muddying the setup-sharing accounting.
+    """
+    global _PLAN_CACHE
+    _PLAN_CACHE = PlanCache()
+
+
+def _ring_has_checkpoints(path: str) -> bool:
+    """Whether a checkpoint directory holds any ring entries."""
+    try:
+        return any(
+            name.startswith("ckpt-") and name.endswith(".ckpt")
+            for name in os.listdir(path)
+        )
+    except OSError:
+        return False
+
+
+def _execute_job(payload: dict) -> dict:
+    """Run one job to completion (module-level: picklable for the pool).
+
+    The payload and the returned document are plain JSON-shaped dicts so
+    they cross the process boundary untouched.  Failures are reported in
+    the return value (never raised) so one bad job cannot poison the
+    pool.
+    """
+    from repro.core.simulation import NaluWindSimulation
+    from repro.resilience.checkpoint import CheckpointError
+
+    start = time.perf_counter()
+    try:
+        job = JobSpec.from_dict(payload["job"])
+        config = job.build_config()
+        ckpt_dir = payload.get("checkpoint_dir", "")
+        if payload.get("checkpoint_every", 0) and ckpt_dir:
+            config.checkpoint_every = int(payload["checkpoint_every"])
+            config.checkpoint_keep = int(payload.get("checkpoint_keep", 2))
+            config.checkpoint_dir = ckpt_dir
+        resumed = False
+        if (
+            payload.get("try_resume", False)
+            and ckpt_dir
+            and _ring_has_checkpoints(ckpt_dir)
+        ):
+            config.restart_from = ckpt_dir
+            resumed = True
+        try:
+            sim = NaluWindSimulation(job.workload, config)
+        except CheckpointError:
+            # Ring unusable (all entries corrupt): run fresh instead.
+            config.restart_from = ""
+            resumed = False
+            sim = NaluWindSimulation(job.workload, config)
+        if payload.get("share_setup", True):
+            sim.world.plan_cache = _worker_plan_cache()
+        report = sim.run(job.steps)
+        doc = canonical_result(sim, report, job)
+        return {
+            "ok": True,
+            "doc": doc,
+            "resumed": resumed,
+            "wall_s": time.perf_counter() - start,
+            "plan_shared": float(
+                sim.world.metrics.counter_total("assembly.plan_shared")
+            ),
+        }
+    except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "wall_s": time.perf_counter() - start,
+        }
+
+
+class Campaign:
+    """One campaign run (or resume) over a campaign directory.
+
+    Attributes:
+        spec: the sweep specification.
+        root: campaign directory (manifest, result store, per-job
+            checkpoint rings).
+        workers: pool size; 0 runs jobs in-process serially.
+        hub: observer hub receiving ``campaign_*`` progress events.
+        metrics: registry carrying the ``campaign.*`` counters.
+        store_dir: result-store directory (default ``<root>/store``).
+            Pointing several campaigns at one store lets them share
+            results: a job identical to one any prior campaign completed
+            is served from the store instead of re-running.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        root: str,
+        workers: int = 0,
+        hub: ObserverHub | None = None,
+        metrics: MetricsRegistry | None = None,
+        store_dir: str | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.spec = spec
+        self.root = root
+        self.workers = workers
+        self.hub = hub or ObserverHub()
+        self.metrics = metrics or MetricsRegistry()
+        self.jobs = spec.expand()
+        self.store = ResultStore(store_dir or os.path.join(root, "store"))
+        self.manifest = CampaignManifest(root, spec)
+        if os.path.exists(self.manifest.path):
+            self.manifest = CampaignManifest.load(root)
+            self.manifest.spec = spec
+        self.manifest.register(self.jobs)
+        self._plan_cache = PlanCache()  # in-process mode's shared cache
+
+    @classmethod
+    def resume(
+        cls,
+        root: str,
+        workers: int = 0,
+        hub: ObserverHub | None = None,
+        metrics: MetricsRegistry | None = None,
+        store_dir: str | None = None,
+    ) -> "Campaign":
+        """Re-open an existing campaign directory from its manifest."""
+        manifest = CampaignManifest.load(root)
+        return cls(
+            manifest.spec,
+            root,
+            workers=workers,
+            hub=hub,
+            metrics=metrics,
+            store_dir=store_dir,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _job_dir(self, job: JobSpec) -> str:
+        return os.path.join(self.root, "jobs", job.job_id)
+
+    def _ckpt_dir(self, job: JobSpec) -> str:
+        return os.path.join(self._job_dir(job), "checkpoints")
+
+    def _payload(self, job: JobSpec, try_resume: bool) -> dict:
+        return {
+            "job": job.to_dict(),
+            "checkpoint_every": self.spec.checkpoint_every,
+            "checkpoint_keep": self.spec.checkpoint_keep,
+            "checkpoint_dir": (
+                self._ckpt_dir(job) if self.spec.checkpoint_every else ""
+            ),
+            "try_resume": try_resume,
+            "share_setup": self.spec.share_setup,
+        }
+
+    def _emit(self, event: str, **kw: Any) -> None:
+        self.hub.emit(event, **kw)
+
+    # -- dry run -------------------------------------------------------------
+
+    def plan(self) -> list[dict]:
+        """The expanded job table without running anything (dry run)."""
+        rows = []
+        for job in self.jobs:
+            digest = job.digest()
+            entry = self.manifest.jobs.get(digest, {})
+            rows.append(
+                {
+                    "job_id": job.job_id,
+                    "digest": digest,
+                    "workload": job.workload,
+                    "steps": job.steps,
+                    "seed": job.seed,
+                    "overrides": job.overrides,
+                    "status": entry.get("status", "pending"),
+                    "cached": digest in self.store,
+                }
+            )
+        return rows
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self, max_jobs: int | None = None, dry_run: bool = False
+    ) -> dict:
+        """Drain the campaign; returns the summary document.
+
+        ``max_jobs`` bounds the number of jobs *executed* this
+        invocation (cache hits are free); remaining jobs stay
+        ``pending``/``running`` in the manifest for a later resume.
+        """
+        if dry_run:
+            rows = self.plan()
+            self.manifest.save()
+            return {
+                "format": "repro.campaign.summary/1",
+                "name": self.spec.name,
+                "dry_run": True,
+                "total_jobs": len(rows),
+                "jobs": rows,
+            }
+        start = time.perf_counter()
+        self.manifest.save()
+        self._emit(
+            "campaign_start",
+            name=self.spec.name,
+            total=len(self.jobs),
+            workers=self.workers,
+        )
+        asyncio.run(self._drain(max_jobs))
+        counts = self.manifest.status_counts()
+        m = self.metrics
+        summary = {
+            "format": "repro.campaign.summary/1",
+            "name": self.spec.name,
+            "root": self.root,
+            "workers": self.workers,
+            "total_jobs": len(self.jobs),
+            "status_counts": counts,
+            "cache_hits": int(m.counter_total("campaign.cache_hits")),
+            "cache_misses": int(m.counter_total("campaign.cache_misses")),
+            "jobs_run": int(m.counter_total("campaign.jobs_run")),
+            "jobs_failed": int(m.counter_total("campaign.jobs_failed")),
+            "jobs_resumed": int(m.counter_total("campaign.jobs_resumed")),
+            "plan_shared": int(m.counter_total("assembly.plan_shared")),
+            "wall_s": time.perf_counter() - start,
+            "jobs": {
+                digest: {
+                    "status": entry["status"],
+                    **{
+                        k: entry[k]
+                        for k in ("result", "error", "cached", "wall_s")
+                        if k in entry
+                    },
+                }
+                for digest, entry in sorted(self.manifest.jobs.items())
+            },
+        }
+        self._emit("campaign_end", summary=summary)
+        return summary
+
+    async def _drain(self, max_jobs: int | None) -> None:
+        queue: asyncio.Queue[tuple[JobSpec, str, bool]] = asyncio.Queue()
+        budget = {"left": max_jobs if max_jobs is not None else len(self.jobs)}
+        for job in self.jobs:
+            digest = job.digest()
+            entry = self.manifest.jobs[digest]
+            if entry["status"] == "done":
+                continue
+            was_running = entry["status"] == "running"
+            queue.put_nowait((job, digest, was_running))
+        loop = asyncio.get_running_loop()
+        pool: ProcessPoolExecutor | None = None
+        if self.workers > 0:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_init_worker
+            )
+        try:
+            async def consume() -> None:
+                while True:
+                    try:
+                        job, digest, was_running = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    await self._run_one(
+                        loop, pool, job, digest, was_running, budget
+                    )
+
+            n_consumers = max(1, self.workers)
+            await asyncio.gather(*(consume() for _ in range(n_consumers)))
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    async def _run_one(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        pool: ProcessPoolExecutor | None,
+        job: JobSpec,
+        digest: str,
+        was_running: bool,
+        budget: dict,
+    ) -> None:
+        cached = self.store.get(digest)
+        if cached is not None:
+            self.metrics.counter("campaign.cache_hits").inc()
+            self.manifest.mark(
+                digest,
+                "done",
+                cached=True,
+                result=os.path.relpath(self.store.path(digest), self.root),
+            )
+            self._emit(
+                "campaign_job",
+                job_id=job.job_id,
+                digest=digest,
+                status="cached",
+            )
+            return
+        self.metrics.counter("campaign.cache_misses").inc()
+        if budget["left"] <= 0:
+            # Out of this invocation's execution budget: leave the job
+            # for a later resume (status untouched).
+            self._emit(
+                "campaign_job",
+                job_id=job.job_id,
+                digest=digest,
+                status="deferred",
+            )
+            return
+        budget["left"] -= 1
+        self.manifest.mark(digest, "running")
+        self._emit(
+            "campaign_job",
+            job_id=job.job_id,
+            digest=digest,
+            status="running",
+            resume=was_running,
+        )
+        payload = self._payload(job, try_resume=was_running)
+        if pool is None:
+            # In-process serial mode: share one plan cache directly.
+            if self.spec.share_setup:
+                global _PLAN_CACHE
+                _PLAN_CACHE = self._plan_cache
+            outcome = _execute_job(payload)
+        else:
+            outcome = await loop.run_in_executor(
+                pool, _execute_job, payload
+            )
+        if not outcome.get("ok"):
+            self.metrics.counter("campaign.jobs_failed").inc()
+            self.manifest.mark(
+                digest,
+                "failed",
+                error=outcome.get("error", "unknown"),
+                wall_s=outcome.get("wall_s"),
+            )
+            self._emit(
+                "campaign_job",
+                job_id=job.job_id,
+                digest=digest,
+                status="failed",
+                error=outcome.get("error", "unknown"),
+            )
+            return
+        self.metrics.counter("campaign.jobs_run").inc()
+        if outcome.get("resumed"):
+            self.metrics.counter("campaign.jobs_resumed").inc()
+        self.metrics.counter("assembly.plan_shared").inc(
+            outcome.get("plan_shared", 0.0)
+        )
+        path = self.store.put(digest, outcome["doc"])
+        self.manifest.mark(
+            digest,
+            "done",
+            cached=False,
+            result=os.path.relpath(path, self.root),
+            wall_s=outcome.get("wall_s"),
+        )
+        self._emit(
+            "campaign_job",
+            job_id=job.job_id,
+            digest=digest,
+            status="done",
+            wall_s=outcome.get("wall_s"),
+            resumed=bool(outcome.get("resumed")),
+        )

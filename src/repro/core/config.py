@@ -13,6 +13,17 @@ from typing import Callable
 from repro.amg.hierarchy import AMGOptions
 from repro.resilience.injection import FaultSpec
 from repro.resilience.policy import RecoveryPolicy
+from repro.serialize import (
+    as_bool,
+    as_float,
+    as_float_triple,
+    as_int,
+    as_str,
+    nested,
+    nested_list,
+    stable_digest,
+    strict_kwargs,
+)
 
 
 @dataclass
@@ -29,6 +40,39 @@ class SolverConfig:
     # Keep per-iteration residual norms in the solve records / telemetry
     # (convergence traces); off skips the per-iteration bookkeeping.
     record_history: bool = True
+
+    def to_dict(self) -> dict:
+        """JSON-shaped dict of the solver settings (round-trip form)."""
+        return {
+            "method": self.method,
+            "tol": self.tol,
+            "max_iters": self.max_iters,
+            "restart": self.restart,
+            "gs_variant": self.gs_variant,
+            "record_history": self.record_history,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolverConfig":
+        """Strictly-validated inverse of :meth:`to_dict`."""
+        return cls(
+            **strict_kwargs(
+                "SolverConfig",
+                data,
+                {
+                    "method": as_str,
+                    "tol": as_float,
+                    "max_iters": as_int,
+                    "restart": as_int,
+                    "gs_variant": as_str,
+                    "record_history": as_bool,
+                },
+            )
+        )
+
+    def stable_hash(self) -> str:
+        """Canonical content digest of the solver settings."""
+        return stable_digest(self.to_dict())
 
 
 @dataclass
@@ -58,6 +102,10 @@ class SimulationConfig:
     # Decomposition.
     nranks: int = 4
     partition_method: str = "parmetis"  # or "rcb"
+    # Seed for the simulated world's RNG (campaign JobSpec.seed lands
+    # here); distinct seeds give statistically independent replicas of
+    # the same workload.
+    world_seed: int = 0
 
     # Assembly (paper §3): "optimized" | "sparse_add" | "general".
     assembly_variant: str = "optimized"
@@ -167,6 +215,129 @@ class SimulationConfig:
             )
         if self.clock is not None and not callable(self.clock):
             raise ValueError("clock must be callable (or None)")
+        if self.world_seed < 0 or self.fault_seed < 0:
+            raise ValueError("world_seed and fault_seed must be >= 0")
         self.recovery.validate()
         for spec in self.faults:
             spec.validate()
+
+    #: ``stable_hash`` exclusions for the campaign job digest: durability
+    #: knobs that change where/how often state is persisted but never the
+    #: computed results, so they must not fragment the result cache.
+    DURABILITY_KEYS = (
+        "checkpoint_every",
+        "checkpoint_dir",
+        "checkpoint_keep",
+        "restart_from",
+    )
+
+    def to_dict(self) -> dict:
+        """JSON-shaped dict of the full configuration (round-trip form).
+
+        ``clock`` is a runtime-only injection point (a callable) and has
+        no serialized form; configs carrying one cannot be serialized.
+        """
+        if self.clock is not None:
+            raise ValueError(
+                "SimulationConfig.clock is runtime-only (a callable) and "
+                "cannot be serialized; clear it before to_dict()"
+            )
+        return {
+            "density": self.density,
+            "viscosity": self.viscosity,
+            "inflow_velocity": list(self.inflow_velocity),
+            "dt": self.dt,
+            "picard_iterations": self.picard_iterations,
+            "rhie_chow": self.rhie_chow,
+            "velocity_relax": self.velocity_relax,
+            "pressure_relax": self.pressure_relax,
+            "scalar_diffusivity": self.scalar_diffusivity,
+            "nranks": self.nranks,
+            "partition_method": self.partition_method,
+            "world_seed": self.world_seed,
+            "assembly_variant": self.assembly_variant,
+            "assembly_mode": self.assembly_mode,
+            "reuse_assembly_plan": self.reuse_assembly_plan,
+            "momentum_solver": self.momentum_solver.to_dict(),
+            "scalar_solver": self.scalar_solver.to_dict(),
+            "pressure_solver": self.pressure_solver.to_dict(),
+            "sgs_outer": self.sgs_outer,
+            "sgs_inner": self.sgs_inner,
+            "amg": self.amg.to_dict(),
+            "precond_rebuild_every": self.precond_rebuild_every,
+            "amg_refresh": self.amg_refresh,
+            "recovery": self.recovery.to_dict(),
+            "faults": [spec.to_dict() for spec in self.faults],
+            "fault_seed": self.fault_seed,
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoint_dir": self.checkpoint_dir,
+            "checkpoint_keep": self.checkpoint_keep,
+            "restart_from": self.restart_from,
+            "profile": self.profile,
+            "profile_machine": self.profile_machine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        """Strictly-validated inverse of :meth:`to_dict`.
+
+        Unknown keys and type mismatches raise ``ValueError``; absent
+        keys take the dataclass defaults.  The result is
+        :meth:`validate`-d before being returned.
+        """
+        config = cls(
+            **strict_kwargs(
+                "SimulationConfig",
+                data,
+                {
+                    "density": as_float,
+                    "viscosity": as_float,
+                    "inflow_velocity": as_float_triple,
+                    "dt": as_float,
+                    "picard_iterations": as_int,
+                    "rhie_chow": as_bool,
+                    "velocity_relax": as_float,
+                    "pressure_relax": as_float,
+                    "scalar_diffusivity": as_float,
+                    "nranks": as_int,
+                    "partition_method": as_str,
+                    "world_seed": as_int,
+                    "assembly_variant": as_str,
+                    "assembly_mode": as_str,
+                    "reuse_assembly_plan": as_bool,
+                    "momentum_solver": nested(SolverConfig.from_dict),
+                    "scalar_solver": nested(SolverConfig.from_dict),
+                    "pressure_solver": nested(SolverConfig.from_dict),
+                    "sgs_outer": as_int,
+                    "sgs_inner": as_int,
+                    "amg": nested(AMGOptions.from_dict),
+                    "precond_rebuild_every": as_int,
+                    "amg_refresh": as_bool,
+                    "recovery": nested(RecoveryPolicy.from_dict),
+                    "faults": nested_list(FaultSpec.from_dict),
+                    "fault_seed": as_int,
+                    "checkpoint_every": as_int,
+                    "checkpoint_dir": as_str,
+                    "checkpoint_keep": as_int,
+                    "restart_from": as_str,
+                    "profile": as_bool,
+                    "profile_machine": as_str,
+                },
+            )
+        )
+        config.validate()
+        return config
+
+    def stable_hash(self, exclude: tuple[str, ...] = ()) -> str:
+        """Canonical content digest of the configuration.
+
+        Key-order independent (sorted-JSON SHA-256); any field change
+        changes the digest.  ``exclude`` drops top-level keys before
+        hashing — the campaign job digest passes
+        :data:`DURABILITY_KEYS` so checkpoint placement never fragments
+        the result cache.
+        """
+        doc = self.to_dict()
+        for key in exclude:
+            doc.pop(key, None)
+        return stable_digest(doc)

@@ -153,12 +153,39 @@ class EquationSystem:
             return None
         plan = self._plan
         if plan is None or plan.graph_revision != self.graph.revision:
-            plan = AssemblyPlan(
-                self.comp.numbering,
-                variant=self.config.assembly_variant,
-                graph=self.graph,
-                name=self.name,
+            # Cross-job sharing: a campaign-attached PlanCache may hold a
+            # fully-captured plan for this exact pattern (equal
+            # fingerprint) from an earlier job of the sweep; adopting it
+            # skips the cold capture entirely.
+            cache = self.world.plan_cache
+            adopted = (
+                cache.adopt(
+                    self.world,
+                    self.graph,
+                    self.comp.numbering,
+                    self.config.assembly_variant,
+                    self.name,
+                )
+                if cache is not None
+                else None
             )
+            if adopted is not None:
+                plan = adopted
+            else:
+                plan = AssemblyPlan(
+                    self.comp.numbering,
+                    variant=self.config.assembly_variant,
+                    graph=self.graph,
+                    name=self.name,
+                )
+                if cache is not None:
+                    cache.offer(
+                        self.graph,
+                        self.comp.numbering,
+                        self.config.assembly_variant,
+                        self.name,
+                        plan,
+                    )
             self._plan = plan
         return plan
 
@@ -234,6 +261,8 @@ class EquationSystem:
         next :meth:`solve` rebuilds the preconditioner — nothing derived
         from a possibly-corrupted operator survives.
         """
+        if self.world.plan_cache is not None:
+            self.world.plan_cache.invalidate(self._plan)
         self._plan = None
         self._precond = None
         self._solves_since_setup = 0

@@ -114,7 +114,7 @@ class NaluWindSimulation:
         else:
             self.workload_name = workload.name
             self.system = workload
-        self.world = SimWorld(self.config.nranks)
+        self.world = SimWorld(self.config.nranks, seed=self.config.world_seed)
         # Per-rank timeline profiling: the profiler must attach before
         # CompositeMesh construction so partitioning/graph phases land on
         # the simulated rank clocks too.

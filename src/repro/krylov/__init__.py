@@ -1,11 +1,9 @@
 """Krylov solvers: right-preconditioned GMRES, CG, low-sync Gram-Schmidt.
 
 The unified entry point is :func:`make_krylov_solver`; every solver
-returns a :class:`KrylovResult`.  ``GMRESResult``/``CGResult`` remain as
-deprecated aliases of :class:`KrylovResult`.
+returns a :class:`KrylovResult`.  (The PR 2-era ``GMRESResult`` /
+``CGResult`` aliases have been removed.)
 """
-
-import warnings
 
 from repro.krylov.api import (
     KRYLOV_METHODS,
@@ -21,9 +19,7 @@ from repro.krylov.gram_schmidt import batched_dots, orthogonalize
 
 __all__ = [
     "CG",
-    "CGResult",
     "GMRES",
-    "GMRESResult",
     "GS_VARIANTS",
     "KRYLOV_METHODS",
     "KrylovResult",
@@ -33,16 +29,3 @@ __all__ = [
     "make_krylov_solver",
     "orthogonalize",
 ]
-
-_DEPRECATED_RESULTS = {"GMRESResult", "CGResult"}
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED_RESULTS:
-        warnings.warn(
-            f"{name} is deprecated; use repro.krylov.KrylovResult",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return KrylovResult
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,24 +10,11 @@ one-reduce GMRES.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.krylov.api import KrylovResult, Preconditioner
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
-
-
-def __getattr__(name: str):
-    if name == "CGResult":
-        warnings.warn(
-            "CGResult is deprecated; use repro.krylov.KrylovResult",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return KrylovResult
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class CG:

@@ -9,25 +9,12 @@ and the Gram-Schmidt variant controls the reduction count per iteration
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.krylov.api import KrylovResult, Preconditioner
 from repro.krylov.gram_schmidt import orthogonalize
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
-
-
-def __getattr__(name: str):
-    if name == "GMRESResult":
-        warnings.warn(
-            "GMRESResult is deprecated; use repro.krylov.KrylovResult",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return KrylovResult
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class GMRES:

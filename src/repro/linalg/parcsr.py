@@ -138,6 +138,24 @@ class ParCSRMatrix:
         for r, nbytes in enumerate(self._storage_per_rank):
             self.world.ops.record_alloc(r, -nbytes)
 
+    def rebind_world(self, world: SimWorld) -> None:
+        """Re-home the matrix on a different world (cross-job plan reuse).
+
+        A campaign job adopting a prior job's captured
+        :class:`~repro.assembly.plan.AssemblyPlan` inherits the plan's
+        live operator; its storage is returned to the donor world's
+        allocator model and re-recorded on the adopter's.  Numerics are
+        untouched — subsequent value-only updates behave exactly as on
+        the donor world.
+        """
+        if world is self.world:
+            return
+        self.release()
+        self.world = world
+        self._released = False
+        for r, nbytes in enumerate(self._storage_per_rank):
+            world.ops.record_alloc(r, nbytes)
+
     # -- value-only updates (pattern frozen) ---------------------------------------
 
     def update_rank_values(self, rank: int, values: np.ndarray) -> None:

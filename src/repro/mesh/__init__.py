@@ -20,12 +20,14 @@ from repro.mesh.turbine import (
     ROTOR_RADIUS,
     TurbineMeshSystem,
     WORKLOADS,
+    list_workloads,
     make_background_only,
     make_turbine_dual,
     make_turbine_low,
     make_turbine_tiny,
     make_turbine_refined,
     make_workload,
+    register_workload,
 )
 
 __all__ = [
@@ -42,6 +44,7 @@ __all__ = [
     "build_block_topology",
     "geometric_stretching",
     "graded_axis",
+    "list_workloads",
     "make_background_mesh",
     "make_blade_mesh",
     "make_background_only",
@@ -51,5 +54,6 @@ __all__ = [
     "make_turbine_tiny",
     "make_workload",
     "node_adjacency",
+    "register_workload",
     "rotation_matrix",
 ]

@@ -12,6 +12,7 @@ every direction count by the refinement factor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -111,6 +112,50 @@ def _make_background(
     )
 
 
+#: Name -> builder registry populated by :func:`register_workload`.
+#: (``WORKLOADS`` below aliases it for existing callers.)
+_WORKLOAD_REGISTRY: dict[str, Callable[..., TurbineMeshSystem]] = {}
+
+
+def register_workload(
+    name: str, description: str = ""
+) -> Callable[[Callable[..., TurbineMeshSystem]], Callable[..., TurbineMeshSystem]]:
+    """Register a workload builder under ``name``.
+
+    Every CLI subcommand that takes ``--workload`` validates against this
+    registry, and ``--list`` prints it.  Builders must return a
+    :class:`TurbineMeshSystem`; the description defaults to the first
+    line of the builder's docstring.
+
+    Raises:
+        ValueError: on a duplicate name.
+    """
+
+    def decorate(
+        builder: Callable[..., TurbineMeshSystem]
+    ) -> Callable[..., TurbineMeshSystem]:
+        if name in _WORKLOAD_REGISTRY:
+            raise ValueError(f"workload {name!r} is already registered")
+        doc_line = (builder.__doc__ or "").strip().splitlines()
+        builder.workload_name = name
+        builder.workload_description = description or (
+            doc_line[0] if doc_line else ""
+        )
+        _WORKLOAD_REGISTRY[name] = builder
+        return builder
+
+    return decorate
+
+
+def list_workloads() -> list[tuple[str, str]]:
+    """Sorted ``(name, description)`` rows of every registered workload."""
+    return [
+        (name, getattr(builder, "workload_description", ""))
+        for name, builder in sorted(_WORKLOAD_REGISTRY.items())
+    ]
+
+
+@register_workload("turbine_low")
 def make_turbine_low(refine: int = 1) -> TurbineMeshSystem:
     """Scaled low-resolution single-turbine system (paper: 23,022,027 nodes).
 
@@ -129,6 +174,7 @@ def make_turbine_low(refine: int = 1) -> TurbineMeshSystem:
     )
 
 
+@register_workload("turbine_refined")
 def make_turbine_refined(refine: int = 3) -> TurbineMeshSystem:
     """Scaled refined single-turbine system (paper: 634,469,604 nodes).
 
@@ -141,6 +187,7 @@ def make_turbine_refined(refine: int = 3) -> TurbineMeshSystem:
     return sys_
 
 
+@register_workload("turbine_tiny")
 def make_turbine_tiny() -> TurbineMeshSystem:
     """A minimal single-turbine system for tests and the quickstart.
 
@@ -175,6 +222,7 @@ def make_turbine_tiny() -> TurbineMeshSystem:
     )
 
 
+@register_workload("background_only")
 def make_background_only() -> TurbineMeshSystem:
     """A background-only 'empty tunnel' system (no blades).
 
@@ -187,6 +235,7 @@ def make_background_only() -> TurbineMeshSystem:
     )
 
 
+@register_workload("turbine_dual")
 def make_turbine_dual() -> TurbineMeshSystem:
     """Scaled dual-turbine system (paper: 44,233,109 nodes).
 
@@ -206,13 +255,8 @@ def make_turbine_dual() -> TurbineMeshSystem:
     )
 
 
-WORKLOADS = {
-    "turbine_tiny": make_turbine_tiny,
-    "background_only": make_background_only,
-    "turbine_low": make_turbine_low,
-    "turbine_dual": make_turbine_dual,
-    "turbine_refined": make_turbine_refined,
-}
+#: Back-compat alias of the registry (same mutable mapping).
+WORKLOADS = _WORKLOAD_REGISTRY
 
 #: Paper mesh-node counts for Table 1 side-by-side reporting.
 PAPER_TABLE1 = {

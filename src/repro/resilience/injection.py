@@ -86,6 +86,45 @@ class FaultSpec:
         if self.at < 0 or self.entries < 1:
             raise ValueError("at must be >= 0 and entries >= 1")
 
+    def to_dict(self) -> dict:
+        """JSON-shaped dict of the spec (strict round-trip form)."""
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "equation": self.equation,
+            "mode": self.mode,
+            "magnitude": self.magnitude,
+            "entries": self.entries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Strictly-validated inverse of :meth:`to_dict`."""
+        from repro.serialize import (
+            as_float,
+            as_int,
+            as_opt_str,
+            as_str,
+            strict_kwargs,
+        )
+
+        spec = cls(
+            **strict_kwargs(
+                "FaultSpec",
+                data,
+                {
+                    "kind": as_str,
+                    "at": as_int,
+                    "equation": as_opt_str,
+                    "mode": as_str,
+                    "magnitude": as_float,
+                    "entries": as_int,
+                },
+            )
+        )
+        spec.validate()
+        return spec
+
 
 @dataclass
 class _SpecState:

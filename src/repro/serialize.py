@@ -1,0 +1,146 @@
+"""Strict config (de)serialization helpers and canonical hashing.
+
+Every config dataclass (``SimulationConfig`` and the nested
+``SolverConfig``/``AMGOptions``/``RecoveryPolicy``/``FaultSpec``) exposes
+``to_dict()``/``from_dict()`` built on these helpers.  The contract is
+deliberately strict — this dict is the campaign cache key, so silent
+coercion or silently-dropped keys would alias distinct configurations:
+
+* unknown keys raise ``ValueError`` (no typo ever falls back to a
+  default);
+* every value is type-checked with the exact JSON-compatible kind the
+  field declares (``bool`` is *not* an ``int`` here);
+* ``int`` is accepted where ``float`` is declared (JSON writers emit
+  ``1`` for ``1.0``) and normalized to ``float``.
+
+:func:`stable_digest` is the canonical content hash: sorted-key,
+separator-free JSON, SHA-256.  Two dicts that differ only in key order
+digest identically; any value change changes the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable
+
+Parser = Callable[[Any, str], Any]
+
+
+def canonical_json(doc: Any) -> str:
+    """Canonical JSON text: sorted keys, compact separators."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(doc: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``doc``."""
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def _type_error(path: str, expected: str, value: Any) -> ValueError:
+    return ValueError(
+        f"{path}: expected {expected}, got {type(value).__name__} "
+        f"({value!r})"
+    )
+
+
+def as_bool(value: Any, path: str) -> bool:
+    """A real bool (``0``/``1`` are rejected: they round-trip as ints)."""
+    if not isinstance(value, bool):
+        raise _type_error(path, "bool", value)
+    return value
+
+
+def as_int(value: Any, path: str) -> int:
+    """An int; bool is explicitly rejected despite being an int subtype."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _type_error(path, "int", value)
+    return int(value)
+
+
+def as_float(value: Any, path: str) -> float:
+    """A float; ints are accepted (JSON writes ``1.0`` as ``1``)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _type_error(path, "float", value)
+    return float(value)
+
+
+def as_str(value: Any, path: str) -> str:
+    if not isinstance(value, str):
+        raise _type_error(path, "str", value)
+    return value
+
+
+def as_opt_str(value: Any, path: str) -> str | None:
+    if value is None:
+        return None
+    return as_str(value, path)
+
+
+def as_opt_float(value: Any, path: str) -> float | None:
+    if value is None:
+        return None
+    return as_float(value, path)
+
+
+def as_str_tuple(value: Any, path: str) -> tuple[str, ...]:
+    if not isinstance(value, (list, tuple)):
+        raise _type_error(path, "list of str", value)
+    return tuple(as_str(v, f"{path}[{i}]") for i, v in enumerate(value))
+
+
+def as_float_triple(value: Any, path: str) -> tuple[float, float, float]:
+    if not isinstance(value, (list, tuple)) or len(value) != 3:
+        raise _type_error(path, "list of 3 floats", value)
+    x, y, z = (as_float(v, f"{path}[{i}]") for i, v in enumerate(value))
+    return (x, y, z)
+
+
+def nested(from_dict: Callable[[Any], Any]) -> Parser:
+    """Parser for a nested config block handled by its own ``from_dict``."""
+
+    def parse(value: Any, path: str) -> Any:
+        if not isinstance(value, dict):
+            raise _type_error(path, "mapping", value)
+        return from_dict(value)
+
+    return parse
+
+
+def nested_list(from_dict: Callable[[Any], Any]) -> Parser:
+    """Parser for a list of nested config blocks (e.g. fault specs)."""
+
+    def parse(value: Any, path: str) -> tuple:
+        if not isinstance(value, (list, tuple)):
+            raise _type_error(path, "list of mappings", value)
+        out = []
+        for i, item in enumerate(value):
+            if not isinstance(item, dict):
+                raise _type_error(f"{path}[{i}]", "mapping", item)
+            out.append(from_dict(item))
+        return tuple(out)
+
+    return parse
+
+
+def strict_kwargs(
+    cls_name: str, data: Any, parsers: dict[str, Parser]
+) -> dict[str, Any]:
+    """Parse ``data`` into constructor kwargs, strictly.
+
+    Unknown keys raise (listing both the offenders and the accepted
+    keys); each present key runs through its declared parser.  Absent
+    keys are simply omitted so dataclass defaults apply.
+    """
+    if not isinstance(data, dict):
+        raise _type_error(cls_name, "mapping", data)
+    unknown = sorted(set(data) - set(parsers))
+    if unknown:
+        raise ValueError(
+            f"{cls_name}: unknown config keys {unknown}; "
+            f"accepted keys: {sorted(parsers)}"
+        )
+    return {
+        key: parsers[key](value, f"{cls_name}.{key}")
+        for key, value in data.items()
+    }

@@ -5,7 +5,7 @@ from repro.smoothers.chebyshev import ChebyshevSmoother, estimate_dinv_a_eigmax
 from repro.smoothers.factory import SMOOTHER_NAMES, make_smoother
 from repro.smoothers.gauss_seidel import HybridGS
 from repro.smoothers.jacobi import JacobiSmoother, L1JacobiSmoother
-from repro.smoothers.two_stage_gs import TwoStageGS, make_sgs2
+from repro.smoothers.two_stage_gs import TwoStageGS
 
 __all__ = [
     "BlockSplitting",
@@ -16,6 +16,5 @@ __all__ = [
     "L1JacobiSmoother",
     "SMOOTHER_NAMES",
     "TwoStageGS",
-    "make_sgs2",
     "make_smoother",
 ]

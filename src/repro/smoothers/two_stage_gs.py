@@ -111,25 +111,3 @@ class TwoStageGS:
             res = self.A.residual(b, x)
             x.data += self._local_sweep(res.data)
         return x
-
-
-def make_sgs2(A: ParCSRMatrix, inner_sweeps: int = 2, outer_sweeps: int = 2) -> TwoStageGS:
-    """The paper's momentum preconditioner: compact two-stage symmetric GS.
-
-    Defaults to the configuration §4.2 recommends (two outer, two inner).
-
-    .. deprecated:: use ``make_smoother("sgs2", A, ...)``.
-    """
-    import warnings
-
-    warnings.warn(
-        "make_sgs2 is deprecated; use repro.smoothers.make_smoother"
-        '("sgs2", A, inner_sweeps=..., outer_sweeps=...)',
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.smoothers.factory import make_smoother
-
-    return make_smoother(
-        "sgs2", A, inner_sweeps=inner_sweeps, outer_sweeps=outer_sweeps
-    )

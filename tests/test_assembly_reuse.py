@@ -404,15 +404,15 @@ class TestKrylovAPI:
         with pytest.raises(ValueError):
             cfg.validate()
 
-    def test_deprecated_result_aliases_warn(self):
+    def test_removed_result_aliases_raise(self):
         import repro.krylov as krylov
 
-        with pytest.warns(DeprecationWarning):
-            alias = krylov.GMRESResult
-        assert alias is KrylovResult
-        with pytest.warns(DeprecationWarning):
-            alias = krylov.CGResult
-        assert alias is KrylovResult
+        with pytest.raises(AttributeError):
+            krylov.GMRESResult
+        with pytest.raises(AttributeError):
+            krylov.CGResult
+        assert "GMRESResult" not in krylov.__all__
+        assert "CGResult" not in krylov.__all__
 
 
 class TestSmootherFactory:
@@ -439,7 +439,7 @@ class TestSmootherFactory:
             z = sm.apply(b)
             assert np.all(np.isfinite(z.data))
 
-    def test_sgs2_matches_deprecated_helper(self):
+    def test_sgs2_factory_defaults(self):
         M = self._matrix()
         sm = make_smoother("sgs2", M)
         assert isinstance(sm, TwoStageGS)

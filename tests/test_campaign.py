@@ -1,0 +1,370 @@
+"""Tests for the campaign service: job specs, sweep expansion, the
+content-addressed result store, the durable manifest, and the runner
+(cache-hit bitwise identity, resume-after-kill, setup sharing)."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.campaign import (
+    Campaign,
+    CampaignManifest,
+    CampaignSpec,
+    JobSpec,
+    ManifestError,
+    ResultStore,
+    merge_overrides,
+    set_path,
+)
+from repro.core.config import SimulationConfig
+from repro.core.simulation import NaluWindSimulation
+from repro.obs.metrics import MetricsRegistry
+
+
+def tiny_spec(name="t", seeds=(0, 1), steps=1, **kw):
+    return CampaignSpec(
+        name=name,
+        workload="turbine_tiny",
+        steps=steps,
+        seeds=seeds,
+        base={"nranks": 2},
+        **kw,
+    )
+
+
+class TestOverrides:
+    def test_merge_is_deep(self):
+        merged = merge_overrides(
+            {"amg": {"theta": 0.1}, "nranks": 2},
+            {"amg": {"agg_levels": 1}},
+        )
+        assert merged == {
+            "amg": {"theta": 0.1, "agg_levels": 1},
+            "nranks": 2,
+        }
+
+    def test_merge_later_wins(self):
+        assert merge_overrides({"dt": 0.1}, {"dt": 0.2}) == {"dt": 0.2}
+
+    def test_set_path_nests(self):
+        doc = set_path({}, "amg.theta", 0.5)
+        doc = set_path(doc, "amg.interp", "direct")
+        assert doc == {"amg": {"theta": 0.5, "interp": "direct"}}
+        assert set_path({}, "dt", 0.1) == {"dt": 0.1}
+
+
+class TestJobSpec:
+    def test_digest_is_stable_and_content_addressed(self):
+        a = JobSpec("turbine_tiny", steps=2, seed=1, overrides={"nranks": 2})
+        b = JobSpec("turbine_tiny", steps=2, seed=1, overrides={"nranks": 2})
+        c = JobSpec("turbine_tiny", steps=2, seed=2, overrides={"nranks": 2})
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+        assert a.job_id == a.digest()[:12]
+
+    def test_durability_keys_do_not_fragment_the_cache(self):
+        a = JobSpec("turbine_tiny", overrides={"nranks": 2})
+        b = JobSpec(
+            "turbine_tiny",
+            overrides={"nranks": 2, "checkpoint_every": 5,
+                       "checkpoint_dir": "elsewhere"},
+        )
+        assert a.digest() == b.digest()
+
+    def test_seed_maps_to_world_seed(self):
+        job = JobSpec("turbine_tiny", seed=7, overrides={"nranks": 2})
+        assert job.build_config().world_seed == 7
+
+    def test_world_seed_override_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec("turbine_tiny", overrides={"world_seed": 3}).validate()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec("no_such_workload").validate()
+
+    def test_round_trip(self):
+        job = JobSpec("turbine_tiny", steps=3, seed=2,
+                      overrides={"nranks": 2})
+        again = JobSpec.from_dict(job.to_dict())
+        assert again.digest() == job.digest()
+
+
+class TestCampaignSpec:
+    def test_expand_grid_times_seeds(self):
+        spec = tiny_spec(
+            seeds=(0, 1), grid={"picard_iterations": [1, 2], "dt": [0.1]}
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 4  # 2 grid points x 2 seeds
+        assert len({j.digest() for j in jobs}) == 4
+
+    def test_expand_list_entries(self):
+        spec = tiny_spec(
+            seeds=(0,),
+            list_entries=({"dt": 0.1}, {"dt": 0.2}),
+        )
+        jobs = spec.expand()
+        assert [j.build_config().dt for j in jobs] == [0.1, 0.2]
+
+    def test_duplicate_jobs_rejected(self):
+        spec = tiny_spec(seeds=(0, 0))
+        with pytest.raises(ValueError, match="duplicate"):
+            spec.expand()
+
+    def test_round_trip(self):
+        spec = tiny_spec(grid={"dt": [0.1, 0.2]})
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert [j.digest() for j in again.expand()] == [
+            j.digest() for j in spec.expand()
+        ]
+
+    def test_unknown_spec_key_rejected(self):
+        doc = tiny_spec().to_dict()
+        doc["bogus"] = 1
+        with pytest.raises(ValueError):
+            CampaignSpec.from_dict(doc)
+
+
+class TestResultStore:
+    def doc(self, digest):
+        from repro.campaign import RESULT_FORMAT
+
+        return {"format": RESULT_FORMAT, "digest": digest, "x": 1}
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("abc", self.doc("abc"))
+        assert store.get("abc") == self.doc("abc")
+        assert "abc" in store and len(store) == 1
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        with open(store.path("abc"), "w") as fh:
+            fh.write("{not json")
+        assert store.get("abc") is None
+
+    def test_digest_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put("abc", self.doc("OTHER"))
+        assert store.get("abc") is None
+
+
+class TestManifest:
+    def test_save_load_round_trip(self, tmp_path):
+        spec = tiny_spec()
+        m = CampaignManifest(str(tmp_path), spec)
+        m.register(spec.expand())
+        m.save()
+        again = CampaignManifest.load(str(tmp_path))
+        assert again.jobs.keys() == m.jobs.keys()
+        assert again.status_counts()["pending"] == 2
+
+    def test_mark_persists(self, tmp_path):
+        spec = tiny_spec()
+        m = CampaignManifest(str(tmp_path), spec)
+        jobs = spec.expand()
+        m.register(jobs)
+        m.mark(jobs[0].digest(), "failed", error="boom")
+        again = CampaignManifest.load(str(tmp_path))
+        assert again.jobs[jobs[0].digest()]["status"] == "failed"
+        assert again.jobs[jobs[0].digest()]["error"] == "boom"
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ManifestError):
+            CampaignManifest.load(str(tmp_path / "nope"))
+
+    def test_bad_status_rejected(self, tmp_path):
+        m = CampaignManifest(str(tmp_path), tiny_spec())
+        m.register(tiny_spec().expand())
+        with pytest.raises(ValueError):
+            m.mark(next(iter(m.jobs)), "exploded")
+
+
+@pytest.mark.slow
+class TestCampaignRunner:
+    def test_serial_run_and_cache_hit_bitwise_identity(self, tmp_path):
+        spec = tiny_spec(name="bitwise")
+        m1 = MetricsRegistry()
+        camp1 = Campaign(spec, str(tmp_path / "a"), metrics=m1)
+        s1 = camp1.run()
+        assert s1["status_counts"]["done"] == 2
+        assert s1["cache_hits"] == 0 and s1["jobs_run"] == 2
+
+        # A fresh campaign sharing the store: 100% cache hits, nothing
+        # executed.
+        camp2 = Campaign(
+            spec,
+            str(tmp_path / "b"),
+            store_dir=str(tmp_path / "a" / "store"),
+        )
+        s2 = camp2.run()
+        assert s2["cache_hits"] == 2 and s2["jobs_run"] == 0
+        assert s2["status_counts"]["done"] == 2
+
+        # An independent fresh run produces byte-identical stored
+        # documents (the cache returns results bitwise-identically).
+        camp3 = Campaign(spec, str(tmp_path / "c"))
+        camp3.run()
+        for job in camp1.jobs:
+            d = job.digest()
+            b1 = camp1.store.get_bytes(d)
+            assert b1 is not None
+            assert b1 == camp3.store.get_bytes(d)
+
+    def test_rerun_same_root_skips_done_jobs(self, tmp_path):
+        spec = tiny_spec(name="rerun")
+        root = str(tmp_path / "camp")
+        Campaign(spec, root).run()
+        s2 = Campaign(spec, root).run()
+        # Done jobs skip via the manifest, not the cache.
+        assert s2["jobs_run"] == 0 and s2["cache_hits"] == 0
+        assert s2["status_counts"]["done"] == 2
+
+    def test_max_jobs_budget_then_resume(self, tmp_path):
+        spec = tiny_spec(name="budget")
+        root = str(tmp_path / "camp")
+        s1 = Campaign(spec, root).run(max_jobs=1)
+        assert s1["jobs_run"] == 1
+        assert s1["status_counts"]["done"] == 1
+        assert s1["status_counts"]["pending"] == 1
+        s2 = Campaign.resume(root).run()
+        assert s2["jobs_run"] == 1  # only the deferred job executes
+        assert s2["status_counts"]["done"] == 2
+
+    def test_resume_after_kill_uses_checkpoint_ring(self, tmp_path):
+        spec = tiny_spec(name="kill", seeds=(0,), steps=2,
+                         checkpoint_every=1)
+        root = str(tmp_path / "camp")
+        camp = Campaign(spec, root)
+        job = camp.jobs[0]
+        digest = job.digest()
+
+        # Simulate a mid-job kill: run only the first step with the
+        # job's ring enabled, leave the manifest saying "running".
+        config = job.build_config()
+        config.checkpoint_every = 1
+        config.checkpoint_keep = spec.checkpoint_keep
+        config.checkpoint_dir = camp._ckpt_dir(job)
+        NaluWindSimulation(job.workload, config).run(1)
+        camp.manifest.register(camp.jobs)
+        camp.manifest.mark(digest, "running")
+
+        resumed = Campaign.resume(root)
+        summary = resumed.run()
+        assert summary["status_counts"]["done"] == 1
+        assert summary["jobs_resumed"] == 1
+        doc = resumed.store.get(digest)
+        entry = summary["jobs"][digest]
+        assert entry["status"] == "done"
+
+        # The resumed job's final state matches an uninterrupted run
+        # bitwise (field digests, divergence norms, step index).
+        ref = Campaign(spec, str(tmp_path / "ref"))
+        ref.run()
+        ref_doc = ref.store.get(digest)
+        assert doc["state"] == ref_doc["state"]
+
+    def test_worker_pool_matches_serial_bitwise(self, tmp_path):
+        spec = tiny_spec(name="pool")
+        serial = Campaign(spec, str(tmp_path / "serial"))
+        serial.run()
+        parallel = Campaign(spec, str(tmp_path / "par"), workers=2)
+        s = parallel.run()
+        assert s["status_counts"]["done"] == 2
+        for job in spec.expand():
+            d = job.digest()
+            assert serial.store.get_bytes(d) == parallel.store.get_bytes(d)
+
+    def test_setup_sharing_across_jobs(self, tmp_path):
+        # Two jobs with identical mesh topology (only the seed differs):
+        # the second adopts the first's captured assembly plans.
+        spec = tiny_spec(name="share")
+        s = Campaign(spec, str(tmp_path / "camp")).run()
+        assert s["plan_shared"] > 0
+
+    def test_invalid_config_rejected_at_expand(self, tmp_path):
+        spec = tiny_spec(name="fail", seeds=(0,))
+        spec.base = merge_overrides(
+            spec.base, {"picard_iterations": 0}
+        )
+        with pytest.raises(ValueError):
+            Campaign(spec, str(tmp_path / "camp"))
+
+    def test_dry_run_executes_nothing(self, tmp_path):
+        spec = tiny_spec(name="dry")
+        camp = Campaign(spec, str(tmp_path / "camp"))
+        summary = camp.run(dry_run=True)
+        assert summary["dry_run"] and summary["total_jobs"] == 2
+        assert all(r["status"] == "pending" for r in summary["jobs"])
+        assert len(camp.store) == 0
+
+
+@pytest.mark.slow
+class TestCampaignCLI:
+    def write_spec(self, tmp_path, **kw):
+        doc = tiny_spec(name="cli", seeds=(0,), **kw).to_dict()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_dry_run_table(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        rc = main(
+            ["campaign", spec, "--dry-run", "-d", str(tmp_path / "c")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign plan: cli" in out
+        assert "turbine_tiny" in out
+
+    def test_run_then_resume_directory(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        root = str(tmp_path / "c")
+        assert main(["campaign", spec, "-d", root]) == 0
+        out = capsys.readouterr().out
+        assert "done 1/1" in out
+        # Resuming the directory re-runs nothing.
+        assert main(["campaign", root, "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["jobs_run"] == 0
+        assert summary["status_counts"]["done"] == 1
+
+    def test_output_file(self, tmp_path):
+        spec = self.write_spec(tmp_path)
+        out = tmp_path / "summary.json"
+        rc = main(
+            ["campaign", spec, "--dry-run", "-d", str(tmp_path / "c"),
+             "--format", "json", "-o", str(out)]
+        )
+        assert rc == 0
+        assert json.loads(out.read_text())["dry_run"]
+
+    def test_bad_spec_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["campaign", str(bad)]) == 1
+
+    def test_unknown_workload_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--workload", "no_such_workload"])
+        assert exc.value.code == 2
+
+    def test_list_workloads_exits_0(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--list"])
+        assert exc.value.code == 0
+        assert "turbine_tiny" in capsys.readouterr().out
+
+    def test_run_config_file(self, tmp_path, capsys):
+        cfg = SimulationConfig(nranks=2)
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(cfg.to_dict()))
+        rc = main(
+            ["run", "--workload", "turbine_tiny", "--steps", "1",
+             "--config", str(path)]
+        )
+        assert rc == 0
+        assert "2 ranks" in capsys.readouterr().out

@@ -9,7 +9,7 @@ from scipy import sparse
 from repro.comm import SimWorld
 from repro.krylov import GMRES, batched_dots, orthogonalize
 from repro.linalg import ParCSRMatrix, ParVector
-from repro.smoothers import JacobiSmoother, make_sgs2
+from repro.smoothers import JacobiSmoother, make_smoother
 
 
 def poisson2d(nx):
@@ -108,7 +108,8 @@ class TestGMRES:
         w2, M2 = par(A)
         b2 = M2.new_vector(np.ones(A.shape[0]))
         pre = GMRES(
-            M2, preconditioner=make_sgs2(M2), tol=1e-8, max_iters=400
+            M2, preconditioner=make_smoother("sgs2", M2), tol=1e-8,
+            max_iters=400
         ).solve(b2)
         assert pre.converged
         assert pre.iterations < plain.iterations

@@ -13,7 +13,7 @@ from repro.smoothers import (
     JacobiSmoother,
     L1JacobiSmoother,
     TwoStageGS,
-    make_sgs2,
+    make_smoother,
 )
 
 
@@ -199,14 +199,16 @@ class TestSGS2:
         A = A.tocsr()
         w, M = par(A)
         b = M.new_vector(rng.standard_normal(n))
-        res = GMRES(M, preconditioner=make_sgs2(M), tol=1e-5).solve(b)
+        res = GMRES(
+            M, preconditioner=make_smoother("sgs2", M), tol=1e-5
+        ).solve(b)
         assert res.converged
         assert res.iterations < 5
 
-    def test_make_sgs2_defaults(self):
+    def test_sgs2_factory_defaults(self):
         A = poisson2d(4)
         w, M = par(A, nranks=1)
-        sm = make_sgs2(M)
+        sm = make_smoother("sgs2", M)
         assert sm.inner_sweeps == 2
         assert sm.outer_sweeps == 2
         assert sm.symmetric
