@@ -132,6 +132,29 @@ def compare(
                     f"({bres[key]} -> {cres[key]})"
                 )
 
+    # Overlapped-exchange profile gauges: the number of split halo
+    # rounds is deterministic (exact), while the priced hidden-wait
+    # rank-seconds may move within the iteration tolerance when the
+    # machine model is retuned.
+    bg = base.get("metrics", {}).get("gauges", {})
+    cg = cur.get("metrics", {}).get("gauges", {})
+    b_rounds = float(bg.get("profile.overlap_rounds", 0.0))
+    c_rounds = float(cg.get("profile.overlap_rounds", 0.0))
+    if b_rounds != c_rounds:
+        failures.append(
+            f"profile.overlap_rounds changed ({b_rounds:.0f} -> "
+            f"{c_rounds:.0f}): split-exchange schedule drifted"
+        )
+    b_saved = float(bg.get("profile.overlap_saved_wait_s", 0.0))
+    c_saved = float(cg.get("profile.overlap_saved_wait_s", 0.0))
+    d = rel_drift(b_saved, c_saved)
+    if d > iters_tol:
+        failures.append(
+            f"profile.overlap_saved_wait_s drift {d * 100:.1f}% "
+            f"({b_saved:.4f} -> {c_saved:.4f}) exceeds "
+            f"{iters_tol * 100:.0f}%"
+        )
+
     # Recovery summary: failure/recovery-by-action counts must replay
     # identically (fault schedules are seeded).
     bsum = base.get("resilience", {}) or {}

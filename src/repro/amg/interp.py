@@ -64,6 +64,8 @@ def _assemble_P(
     return sparse.csr_matrix((vals, (rows, cols)), shape=(n, nc))
 
 
+# repro: allow(RL005) — AMG setup kernel; the hierarchy charges it at the
+# call site via _record_setup_pass(A_l, "amg_interp", passes=3.0).
 def direct_interpolation(
     A: sparse.csr_matrix, S: sparse.csr_matrix, cf: np.ndarray
 ) -> sparse.csr_matrix:

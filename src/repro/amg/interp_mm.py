@@ -34,6 +34,8 @@ from repro.amg.interp import _assemble_P, coarse_map, split_strong_weak
 from repro.amg.pmis import C_POINT, F_POINT
 
 
+# repro: allow(RL005) — AMG setup kernel; the hierarchy charges it at the
+# call site via _record_setup_pass(A_l, "amg_interp", passes=3.0).
 def _mm_ext_weights(
     A: sparse.csr_matrix,
     S: sparse.csr_matrix,

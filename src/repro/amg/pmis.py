@@ -24,6 +24,8 @@ F_POINT = -1
 UNDECIDED = 0
 
 
+# repro: allow(RL005) — AMG setup kernel; the hierarchy charges it at the
+# call site via _record_setup_pass(A_l, "amg_pmis", passes=4.0).
 def pmis_coarsen(
     S: sparse.csr_matrix,
     rng: np.random.Generator,

@@ -55,6 +55,8 @@ def strength_matrix(
     return S
 
 
+# repro: allow(RL005) — AMG setup kernel; the hierarchy charges it at the
+# call site via _record_setup_pass(A_l, "amg_strength2", passes=2.0).
 def aggressive_strength(S: sparse.csr_matrix) -> sparse.csr_matrix:
     """Distance-two strength ``S^(A) = S^2 + S`` for A-1 aggressive coarsening.
 

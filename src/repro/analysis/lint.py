@@ -42,10 +42,10 @@ RL004   direct smoother construction: naming a smoother class instead of
         promotes the remaining runtime ``DeprecationWarning`` on direct
         class construction.
 RL005   unaccounted kernel: a function in the device-kernel packages
-        performs bulk data motion (sort / scatter / segmented reduce)
-        with no recording call reachable in its intra-module call
-        neighborhood (``*.ops.record``/``record_alloc`` or a
-        ``record_*``/``_record*`` helper).
+        performs bulk data motion (sort / scatter / segmented reduce /
+        dense matmul via ``@``) with no recording call reachable in its
+        intra-module call neighborhood (``*.ops.record``/``record_alloc``
+        or a ``record_*``/``_record*`` helper).
 RL006   unbalanced phase push/pop: ``phase_scope`` used outside a
         ``with`` statement, or direct ``_phase_stack``/``_pop_phase``
         manipulation outside ``SimWorld`` itself.
@@ -73,7 +73,10 @@ RULES: dict[str, str] = {
 }
 
 #: Packages whose modules are treated as device-kernel code (RL002/RL005).
-KERNEL_PACKAGES = ("assembly", "linalg", "amg", "smoothers")
+#: ``krylov`` joined the list after a hidden reduction in the one-reduce
+#: orthogonalizer shipped without op accounting — solver inner kernels are
+#: device-kernel-shaped too.
+KERNEL_PACKAGES = ("assembly", "linalg", "amg", "smoothers", "krylov")
 
 #: Qualified function names allowed to issue raw scatter-writes (RL002):
 #: the mode-aware Stage-2 accumulation wrappers in ``repro.assembly.local``.
@@ -366,6 +369,14 @@ class _Linter(ast.NodeVisitor):
             if bulk is not None:
                 fn.bulk_ops.append((bulk, node.lineno, node))
 
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        # RL005 bookkeeping — `@` (matmul / SpMV) is bulk data motion:
+        # on the device it is a kernel launch like any sort or scatter.
+        fn = self._current_fn()
+        if fn is not None and isinstance(node.op, ast.MatMult):
+            fn.bulk_ops.append(("matmul(@)", node.lineno, node))
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:

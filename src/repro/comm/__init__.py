@@ -28,7 +28,14 @@ from repro.comm.simcomm import (
     SimWorld,
     payload_checksum,
 )
-from repro.comm.exchange import ExchangePattern, build_exchange_pattern
+from repro.comm.exchange import (
+    ExchangePattern,
+    HaloHandle,
+    build_exchange_pattern,
+    exchange_halo,
+    exchange_halo_begin,
+    exchange_halo_finish,
+)
 
 __all__ = [
     "CollectiveRecord",
@@ -37,6 +44,7 @@ __all__ = [
     "CommError",
     "CommRetriesExhaustedError",
     "ExchangePattern",
+    "HaloHandle",
     "MailboxLeakError",
     "MessageEnvelope",
     "MessageRecord",
@@ -44,5 +52,8 @@ __all__ = [
     "SimWorld",
     "TrafficLog",
     "build_exchange_pattern",
+    "exchange_halo",
+    "exchange_halo_begin",
+    "exchange_halo_finish",
     "payload_checksum",
 ]

@@ -126,7 +126,7 @@ class CommRetriesExhaustedError(CommError):
     Attributes:
         attempts: delivery attempts made (including the first).
         last_error: classification of the final failed attempt
-            (``"dropped"`` or ``"corrupt"``).
+            (``"dropped"``, ``"corrupt"``, or ``"truncated"``).
     """
 
     def __init__(

@@ -132,53 +132,98 @@ def _halo_payload(
     raise ValueError(f"pattern has no send from rank {src} to rank {dst}")
 
 
-def exchange_halo(
+@dataclass
+class HaloHandle:
+    """In-flight state of a split halo exchange.
+
+    Returned by :func:`exchange_halo_begin` after every send is posted;
+    the caller computes interior work against its own data, then drains
+    the receives with :func:`exchange_halo_finish`.  Holds references to
+    the (unmutated) owned slices so the retry protocol can re-post from
+    the sender side.
+    """
+
+    pattern: ExchangePattern
+    owned: list[np.ndarray]
+    #: Overlap intent: counts ``comm.overlapped_*`` and prices the wait
+    #: against send-post clocks instead of receive-arrival clocks.
+    overlap: bool = False
+    #: Per-rank profiler clocks at post time (None without a profiler
+    #: or for a synchronous round).
+    posted_at: list[float] | None = None
+    finished: bool = False
+
+
+def exchange_halo_begin(
     world: SimWorld,
     pattern: ExchangePattern,
     owned: list[np.ndarray],
-) -> list[np.ndarray]:
-    """Run one halo exchange: gather external entries for every rank.
+    overlap: bool = False,
+) -> HaloHandle:
+    """Post every rank's halo sends and return without receiving.
 
-    Messages travel through the mailbox transport
-    (:meth:`SimWorld._post` / :meth:`SimWorld._take`), so they are
-    sequence-numbered, checksummed, and exposed to injected
-    ``message_drop``/``message_corrupt``/``message_duplicate`` faults.
-    The receive side runs a bounded retry protocol: a message that never
-    arrived (drop) or arrived corrupt is re-requested from its owner up
-    to ``world.comm_max_retries`` times (``comm.retries`` /
-    ``comm.drops_detected`` counters track every re-request); when the
-    budget is exhausted a
-    :class:`~repro.comm.errors.CommRetriesExhaustedError` escalates to
-    the solver-level recovery ladder.
+    The nonblocking half of the exchange (``MPI_Isend`` analogue):
+    after this call each rank may compute against its owned data —
+    typically the ``diag``-block SpMV — while boundary data is in
+    flight, then call :func:`exchange_halo_finish` to drain.
 
-    Args:
-        world: the simulated world (records traffic).
-        pattern: pattern from :func:`build_exchange_pattern`.
-        owned: per rank, its owned vector slice.
-
-    Returns:
-        Per rank, the external buffer aligned with its ``col_map_offd``.
+    With ``overlap=True`` the round is counted in the
+    ``comm.overlapped_exchanges`` / ``comm.overlapped_messages`` /
+    ``comm.overlapped_bytes`` counters and the profiler prices the
+    finish-side wait against these *post-time* clocks, so interior
+    compute genuinely shrinks the halo wait segments.
     """
     nranks = pattern.nranks
     if len(owned) != nranks:
         raise ValueError("need one owned slice per rank")
-    ext = [np.zeros(rx.n_ext, dtype=np.float64) for rx in pattern.per_rank]
     # Post all sends, then receive: matches the MPI_Isend/Irecv structure.
     for src in range(nranks):
         for dst, local_idx in pattern.per_rank[src].send_to:
             world._post(src, dst, np.ascontiguousarray(owned[src][local_idx]))
-    for dst in range(nranks):
+    posted_at = None
+    if overlap:
+        msgs = pattern.total_messages()
+        nbytes = 8.0 * sum(
+            int(idx.size)
+            for rx in pattern.per_rank
+            for _dst, idx in rx.send_to
+        )
+        world.metrics.counter(
+            "comm.overlapped_exchanges", phase=world.phase
+        ).inc()
+        world.metrics.counter(
+            "comm.overlapped_messages", phase=world.phase
+        ).inc(msgs)
+        world.metrics.counter(
+            "comm.overlapped_bytes", phase=world.phase
+        ).inc(nbytes)
+        if world.profiler is not None:
+            posted_at = world.profiler.on_p2p_post()
+    return HaloHandle(
+        pattern=pattern, owned=owned, overlap=overlap, posted_at=posted_at
+    )
+
+
+def exchange_halo_finish(
+    world: SimWorld, handle: HaloHandle
+) -> list[np.ndarray]:
+    """Drain a split halo exchange: the blocking ``MPI_Waitall`` half.
+
+    Runs the same bounded retry protocol as the synchronous
+    :func:`exchange_halo` (drop, corruption, and truncation all consume
+    the retry budget), so a split exchange is bitwise- and
+    failure-equivalent to a synchronous one.
+    """
+    if handle.finished:
+        raise RuntimeError("halo handle already finished")
+    handle.finished = True
+    pattern, owned = handle.pattern, handle.owned
+    ext = [np.zeros(rx.n_ext, dtype=np.float64) for rx in pattern.per_rank]
+    for dst in range(pattern.nranks):
         for src, positions in pattern.per_rank[dst].recv_from:
-            payload = _recv_with_retry(world, pattern, owned, src, dst)
-            if payload.shape != (positions.size,):
-                raise CommCorruptionError(
-                    f"halo message {src} -> {dst}: expected "
-                    f"{positions.size} entries, got {payload.shape}",
-                    phase=world.phase,
-                    src=src,
-                    dst=dst,
-                )
-            ext[dst][positions] = payload
+            ext[dst][positions] = _recv_with_retry(
+                world, pattern, owned, src, dst, int(positions.size)
+            )
     if world.profiler is not None:
         # Neighborhood sync: each rank's wait is bounded by its own
         # senders, not the global straggler.  The logical exchange is
@@ -193,9 +238,54 @@ def exchange_halo(
         in_bytes = [8.0 * rx.n_ext for rx in pattern.per_rank]
         senders = [[src for src, _pos in rx.recv_from] for rx in pattern.per_rank]
         world.profiler.on_p2p_round(
-            "halo", out_msgs, out_bytes, in_msgs, in_bytes, senders
+            "halo",
+            out_msgs,
+            out_bytes,
+            in_msgs,
+            in_bytes,
+            senders,
+            posted_at=handle.posted_at,
         )
     return ext
+
+
+def exchange_halo(
+    world: SimWorld,
+    pattern: ExchangePattern,
+    owned: list[np.ndarray],
+) -> list[np.ndarray]:
+    """Run one halo exchange: gather external entries for every rank.
+
+    Messages travel through the mailbox transport
+    (:meth:`SimWorld._post` / :meth:`SimWorld._take`), so they are
+    sequence-numbered, checksummed, and exposed to injected
+    ``message_drop``/``message_corrupt``/``message_duplicate`` faults.
+    The receive side runs a bounded retry protocol: a message that never
+    arrived (drop), arrived corrupt, or arrived with the wrong length
+    (truncated) is re-requested from its owner up to
+    ``world.comm_max_retries`` times (``comm.retries`` /
+    ``comm.drops_detected`` counters track every re-request); when the
+    budget is exhausted a
+    :class:`~repro.comm.errors.CommRetriesExhaustedError` escalates to
+    the solver-level recovery ladder.
+
+    The synchronous round is exactly :func:`exchange_halo_begin`
+    followed immediately by :func:`exchange_halo_finish`; passing
+    ``overlap=True`` through :meth:`ParCSRMatrix.matvec
+    <repro.linalg.parcsr.ParCSRMatrix.matvec>` puts interior compute
+    between the two halves.
+
+    Args:
+        world: the simulated world (records traffic).
+        pattern: pattern from :func:`build_exchange_pattern`.
+        owned: per rank, its owned vector slice.
+
+    Returns:
+        Per rank, the external buffer aligned with its ``col_map_offd``.
+    """
+    return exchange_halo_finish(
+        world, exchange_halo_begin(world, pattern, owned, overlap=False)
+    )
 
 
 def _recv_with_retry(
@@ -204,6 +294,7 @@ def _recv_with_retry(
     owned: list[np.ndarray],
     src: int,
     dst: int,
+    expected: int,
 ) -> np.ndarray:
     """Receive one halo message, re-requesting on drop/corruption.
 
@@ -211,6 +302,10 @@ def _recv_with_retry(
     slice — the simulated analogue of an MPI-level NACK + resend — and
     every re-post is a fresh fault-injection opportunity, so consecutive
     scheduled drops can exhaust the budget deterministically in tests.
+
+    A payload of the wrong length (truncation) is a corruption like any
+    other: it consumes the retry budget here instead of escalating
+    immediately past it.
     """
     max_retries = max(0, int(world.comm_max_retries))
     last_error = ""
@@ -219,7 +314,7 @@ def _recv_with_retry(
             world.metrics.counter("comm.retries", phase=world.phase).inc()
             world._post(src, dst, _halo_payload(pattern, owned, src, dst))
         try:
-            return world._take(src, dst)
+            payload = world._take(src, dst)
         except CommDeadlockError:
             # Nothing pending on this channel: the message was dropped
             # on the wire (a true deadlock would leave nothing to resend).
@@ -227,9 +322,21 @@ def _recv_with_retry(
                 "comm.drops_detected", phase=world.phase
             ).inc()
             last_error = "dropped"
+            continue
         except CommCorruptionError:
             # comm.corrupt_detected was already counted by _take.
             last_error = "corrupt"
+            continue
+        if np.shape(payload) != (expected,):
+            # Wrong-length payload: the envelope checksum passed but the
+            # content cannot be scattered — treat as corruption and
+            # re-request within the same budget.
+            world.metrics.counter(
+                "comm.corrupt_detected", phase=world.phase
+            ).inc()
+            last_error = "truncated"
+            continue
+        return payload
     raise CommRetriesExhaustedError(
         f"halo message {src} -> {dst} failed after {1 + max_retries} "
         f"attempt(s) in phase {world.phase!r} (last error: {last_error})",

@@ -30,7 +30,7 @@ from repro.serialize import (
 class SolverConfig:
     """Linear-solver settings for one equation system."""
 
-    # Krylov method: "gmres" | "cg" (dispatched through
+    # Krylov method: "gmres" | "cg" | "pipelined_cg" (dispatched through
     # repro.krylov.make_krylov_solver).
     method: str = "gmres"
     tol: float = 1e-5
@@ -40,6 +40,11 @@ class SolverConfig:
     # Keep per-iteration residual norms in the solve records / telemetry
     # (convergence traces); off skips the per-iteration bookkeeping.
     record_history: bool = True
+    # Split halo exchange in solver SpMVs (matvec(overlap=True)): each
+    # rank applies its diag block while boundary data is in flight.
+    # Bitwise-identical solutions; only the communication schedule (and
+    # the priced halo wait) changes.
+    overlap: bool = False
 
     def to_dict(self) -> dict:
         """JSON-shaped dict of the solver settings (round-trip form)."""
@@ -50,6 +55,7 @@ class SolverConfig:
             "restart": self.restart,
             "gs_variant": self.gs_variant,
             "record_history": self.record_history,
+            "overlap": self.overlap,
         }
 
     @classmethod
@@ -66,6 +72,7 @@ class SolverConfig:
                     "restart": as_int,
                     "gs_variant": as_str,
                     "record_history": as_bool,
+                    "overlap": as_bool,
                 },
             )
         )
@@ -181,12 +188,14 @@ class SimulationConfig:
                 f"unknown assembly_mode {self.assembly_mode!r}"
             )
         for cfg_name in ("momentum_solver", "scalar_solver", "pressure_solver"):
-            method = getattr(self, cfg_name).method
-            if method not in ("gmres", "cg"):
+            solver = getattr(self, cfg_name)
+            if solver.method not in ("gmres", "cg", "pipelined_cg"):
                 raise ValueError(
-                    f"unknown {cfg_name}.method {method!r}; "
-                    "options ['gmres', 'cg']"
+                    f"unknown {cfg_name}.method {solver.method!r}; "
+                    "options ['gmres', 'cg', 'pipelined_cg']"
                 )
+            if not isinstance(solver.overlap, bool):
+                raise ValueError(f"{cfg_name}.overlap must be a bool")
         if not isinstance(self.reuse_assembly_plan, bool):
             raise ValueError("reuse_assembly_plan must be a bool")
         if not isinstance(self.amg_refresh, bool):

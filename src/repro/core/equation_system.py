@@ -528,6 +528,8 @@ class EquationSystem:
             )
             return self._run_krylov(A, b, x0, boosted)
         if action == "fallback_method":
+            # Both CG flavors fall back to GMRES (the robust general
+            # method); GMRES falls back to classical CG.
             alternate = "cg" if cfg.method == "gmres" else "gmres"
             return self._run_krylov(A, b, x0, replace(cfg, method=alternate))
         raise ValueError(f"unknown recovery action {action!r}")

@@ -1,4 +1,5 @@
-"""Krylov solvers: right-preconditioned GMRES, CG, low-sync Gram-Schmidt.
+"""Krylov solvers: right-preconditioned GMRES, CG, pipelined CG,
+low-sync Gram-Schmidt.
 
 The unified entry point is :func:`make_krylov_solver`; every solver
 returns a :class:`KrylovResult`.  (The PR 2-era ``GMRESResult`` /
@@ -16,6 +17,7 @@ from repro.krylov.cg import CG
 from repro.krylov.gmres import GMRES
 from repro.krylov.gram_schmidt import VARIANTS as GS_VARIANTS
 from repro.krylov.gram_schmidt import batched_dots, orthogonalize
+from repro.krylov.pipelined_cg import PipelinedCG
 
 __all__ = [
     "CG",
@@ -24,6 +26,7 @@ __all__ = [
     "KRYLOV_METHODS",
     "KrylovResult",
     "KrylovSolver",
+    "PipelinedCG",
     "Preconditioner",
     "batched_dots",
     "make_krylov_solver",

@@ -19,7 +19,7 @@ from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
 
 #: Supported ``cfg.method`` values.
-KRYLOV_METHODS = ("gmres", "cg")
+KRYLOV_METHODS = ("gmres", "cg", "pipelined_cg")
 
 
 @runtime_checkable
@@ -34,7 +34,7 @@ class KrylovResult:
     """Outcome of one Krylov solve (any method).
 
     ``method`` names the algorithm that produced the result ("gmres",
-    "cg"); the remaining fields are method-independent.
+    "cg", "pipelined_cg"); the remaining fields are method-independent.
     """
 
     x: ParVector
@@ -66,10 +66,11 @@ def make_krylov_solver(
         precond: preconditioner action (None = identity).
         cfg: any object carrying solver settings — typically a
             :class:`~repro.core.config.SolverConfig`.  Recognized
-            attributes (all optional): ``method`` ("gmres" | "cg"),
-            ``tol``, ``max_iters``, ``restart``, ``gs_variant``,
-            ``record_history``.  Missing attributes fall back to the
-            method's defaults.
+            attributes (all optional): ``method`` ("gmres" | "cg" |
+            "pipelined_cg"), ``tol``, ``max_iters``, ``overlap``
+            (split halo exchange in solver SpMVs), ``restart``,
+            ``gs_variant``, ``record_history``.  Missing attributes
+            fall back to the method's defaults.
 
     Returns:
         A :class:`KrylovSolver` whose ``solve`` returns
@@ -79,6 +80,7 @@ def make_krylov_solver(
     tol = getattr(cfg, "tol", 1e-6)
     max_iters = getattr(cfg, "max_iters", 200)
     record_history = getattr(cfg, "record_history", True)
+    overlap = getattr(cfg, "overlap", False)
     if method == "gmres":
         from repro.krylov.gmres import GMRES
 
@@ -90,6 +92,7 @@ def make_krylov_solver(
             restart=getattr(cfg, "restart", 50),
             gs_variant=getattr(cfg, "gs_variant", "one_reduce"),
             record_history=record_history,
+            overlap=overlap,
         )
     if method == "cg":
         from repro.krylov.cg import CG
@@ -100,6 +103,18 @@ def make_krylov_solver(
             tol=tol,
             max_iters=max_iters,
             record_history=record_history,
+            overlap=overlap,
+        )
+    if method == "pipelined_cg":
+        from repro.krylov.pipelined_cg import PipelinedCG
+
+        return PipelinedCG(
+            A,
+            preconditioner=precond,
+            tol=tol,
+            max_iters=max_iters,
+            record_history=record_history,
+            overlap=overlap,
         )
     raise ValueError(
         f"unknown Krylov method {method!r}; options {list(KRYLOV_METHODS)}"

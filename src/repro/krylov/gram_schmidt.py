@@ -123,8 +123,21 @@ def orthogonalize(
     h1 = batched_dots(world, V, w, count_as=0)
     w -= V @ h1
     _record_axpy_block(world, n, j, "cgs_update")
-    h2 = V.T @ w
+    # The correction GEMV and the fused norm partial are real kernel
+    # work: record them exactly like ``batched_dots`` does, or their
+    # flops/bytes silently vanish from the roofline and timeline while
+    # the fused reduction below still charges their communication.
+    h2 = batched_dots(world, V, w, count_as=0)
     nrm2 = float(w @ w)
+    per_rank = n / world.size
+    for r in range(world.size):
+        world.ops.record(
+            world.phase,
+            r,
+            "multidot",
+            flops=2.0 * per_rank,
+            nbytes=8.0 * 2 * per_rank,
+        )
     world.traffic.record_collective(
         "allreduce", world.size, 8 * (2 * j + 1), world.phase
     )

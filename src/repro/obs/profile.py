@@ -127,6 +127,12 @@ class RunProfile:
             s.get("wait_fraction", 0.0)
         )
         registry.gauge("profile.syncs").set(s.get("syncs", 0.0))
+        registry.gauge("profile.overlap_rounds").set(
+            s.get("overlap_rounds", 0.0)
+        )
+        registry.gauge("profile.overlap_saved_wait_s").set(
+            s.get("overlap_saved_wait_s", 0.0)
+        )
         registry.gauge("profile.critical_path_s").set(
             float(self.critical_path.get("total_s", 0.0))
         )
@@ -209,6 +215,13 @@ def collect_run_profile(sim: Any, roofline: dict[str, Any] | None = None) -> Run
             ),
             "wait_fraction": wait / accounted if accounted > 0.0 else 0.0,
             "syncs": float(prof.sync_count()),
+            # Split halo rounds and the rank-seconds of wait the overlap
+            # removed relative to synchronous exchanges (0 when every
+            # exchange ran synchronously).
+            "overlap_rounds": float(getattr(prof, "overlap_rounds", 0)),
+            "overlap_saved_wait_s": float(
+                getattr(prof, "overlap_saved_s", 0.0)
+            ),
         },
     )
 

@@ -112,6 +112,12 @@ class TimelineProfiler:
         self._by_kind: dict[str, list[float]] = {}
         # phase -> [wait_s, transfer_s, syncs] (rank-seconds).
         self._phase_comm: dict[str, list[float]] = {}
+        #: Split p2p rounds priced with post-time sender clocks.
+        self.overlap_rounds = 0
+        #: Rank-seconds of halo wait removed by overlap: the wait a
+        #: synchronous round would have charged minus the wait actually
+        #: charged against the post-time clocks.
+        self.overlap_saved_s = 0.0
         self._finalized = False
         self._final_straggler = 0
         self._ends: list[list[float]] | None = None
@@ -201,6 +207,19 @@ class TimelineProfiler:
             self.t[r] = ready + transfer
         self._record_sync(kind, phase, wait_total, transfer * self.nranks)
 
+    def on_p2p_post(self) -> list[float]:
+        """Snapshot per-rank clocks at the send-post point of a split
+        p2p round (the ``MPI_Isend`` instant).
+
+        Outstanding compute is flushed first so the snapshot sits after
+        everything recorded *before* the posts; interior work recorded
+        between this call and the matching :meth:`on_p2p_round` advances
+        the receiver clocks past these frozen sender clocks — which is
+        exactly how overlap shrinks the wait.
+        """
+        self._flush_compute()
+        return list(self.t)
+
     def on_p2p_round(
         self,
         kind: str,
@@ -209,6 +228,7 @@ class TimelineProfiler:
         in_msgs: list[int],
         in_bytes: list[float],
         senders_to: list[list[int]] | None = None,
+        posted_at: list[float] | None = None,
     ) -> None:
         """One point-to-point exchange round.
 
@@ -218,6 +238,14 @@ class TimelineProfiler:
         round (alltoallv): every rank waits for the global straggler.
         Each rank's transfer leg is ``max(send, recv)`` priced time —
         the two directions overlap.
+
+        ``posted_at`` marks a *split* round (:meth:`on_p2p_post`): the
+        wire transfer runs in the background from the moment the last
+        participant posted, so each rank rejoins at ``max(own clock,
+        last post + transfer)``.  Interior compute recorded between post
+        and finish therefore hides wait *and* transfer (fully hidden
+        transfer costs nothing); the rank-seconds saved relative to a
+        synchronous round accumulate in :attr:`overlap_saved_s`.
         """
         self._flush_compute()
         phase = self.phase
@@ -225,34 +253,58 @@ class TimelineProfiler:
         global_ready = max(arrivals)
         global_straggler = arrivals.index(global_ready)
         wait_total = 0.0
+        saved_total = 0.0
         transfer_total = 0.0
         for r in range(self.nranks):
-            if senders_to is None:
-                ready = global_ready
-                waited_on = global_straggler
-            else:
-                ready = arrivals[r]
-                waited_on = r
-                for s in senders_to[r]:
-                    if arrivals[s] > ready:
-                        ready = arrivals[s]
-                        waited_on = s
             transfer = max(
                 self.pricer.p2p_time(int(out_msgs[r]), float(out_bytes[r])),
                 self.pricer.p2p_time(int(in_msgs[r]), float(in_bytes[r])),
             )
             t0 = arrivals[r]
-            if t0 < ready:
+            if senders_to is None:
+                waited_on = global_straggler
+                wait_end = global_ready
+                end = wait_end + transfer
+            elif posted_at is None:
+                waited_on = r
+                wait_end = t0
+                for s in senders_to[r]:
+                    if arrivals[s] > wait_end:
+                        wait_end = arrivals[s]
+                        waited_on = s
+                end = wait_end + transfer
+            else:
+                # Split round: transfer is in flight since the last
+                # needed post; the rank rejoins at max(own arrival,
+                # posted data's wire arrival).
+                bg_start = posted_at[r]
+                waited_on = r
+                sync_ready = t0
+                for s in senders_to[r]:
+                    if posted_at[s] > bg_start:
+                        bg_start = posted_at[s]
+                        waited_on = s
+                    if arrivals[s] > sync_ready:
+                        sync_ready = arrivals[s]
+                end = max(t0, bg_start + transfer)
+                wait_end = min(end, max(t0, bg_start))
+                # What the synchronous schedule (wait for senders'
+                # finish-point arrivals, then transfer) would have cost.
+                saved_total += (sync_ready + transfer) - end
+            if wait_end > t0:
                 self.segments[r].append(
-                    Segment(t0, ready, "wait", phase, waited_on)
+                    Segment(t0, wait_end, "wait", phase, waited_on)
                 )
-                wait_total += ready - t0
-            if transfer > 0.0:
+                wait_total += wait_end - t0
+            if end > wait_end:
                 self.segments[r].append(
-                    Segment(ready, ready + transfer, "transfer", phase, kind)
+                    Segment(wait_end, end, "transfer", phase, kind)
                 )
-                transfer_total += transfer
-            self.t[r] = ready + transfer
+                transfer_total += end - wait_end
+            self.t[r] = end
+        if posted_at is not None:
+            self.overlap_rounds += 1
+            self.overlap_saved_s += max(0.0, saved_total)
         self._record_sync(kind, phase, wait_total, transfer_total)
 
     def on_marker(self, name: str, **attrs: Any) -> None:

@@ -109,6 +109,24 @@ class TestLintRules:
         assert [f.rule for f in got.findings] == [rule]
         assert not lint_source(clean, path).findings
 
+    def test_rl005_matmul_in_krylov_scope(self):
+        # The regression that motivated extending RL005: a hidden
+        # reduction (``V.T @ w``) in the one-reduce orthogonalizer
+        # shipped with no op accounting.  ``krylov`` is kernel scope now
+        # and ``@`` counts as bulk data motion.
+        bad = "def orthogonalize(V, w):\n    h2 = V.T @ w\n    return h2\n"
+        path = "src/repro/krylov/fixture.py"
+        assert [f.rule for f in lint_source(bad, path).findings] == ["RL005"]
+        clean = (
+            "def orthogonalize(world, V, w):\n"
+            "    h2 = V.T @ w\n"
+            "    world.ops.record(world.phase, 0, 'multidot', nbytes=8.0)\n"
+            "    return h2\n"
+        )
+        assert not lint_source(clean, path).findings
+        # Outside the kernel packages, matmul stays unflagged.
+        assert not lint_source(bad, "src/repro/obs/fixture.py").findings
+
     def test_rl001_method_form(self):
         bad = "idx = weights.argsort()\n"
         clean = 'idx = weights.argsort(kind="stable")\n'

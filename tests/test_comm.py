@@ -426,14 +426,30 @@ class TestHaloRetryProtocol:
         assert err.last_error == "dropped"
         assert err.phase == "halo/x"
 
-    def test_shape_mismatch_raises_corruption(self):
+    def test_shape_mismatch_consumes_retry_budget(self):
+        """A wrong-length payload is a corruption like any other: it is
+        re-requested within the retry budget instead of escalating
+        past it (the real message is next on the channel)."""
         pat, owned = two_rank_halo()
         w = SimWorld(2)
         # Out-of-band junk on the (0, 1) channel reaches the halo
         # receive first: checksum-valid but the wrong shape.
         w._post(0, 1, np.zeros(7))
-        with pytest.raises(CommCorruptionError):
+        ext = exchange_halo(w, pat, owned)
+        assert ext[1].tolist() == [1.0, 3.0]
+        assert w.metrics.counter_total("comm.retries") == 1
+        assert w.metrics.counter_total("comm.corrupt_detected") == 1
+        w.purge_pending()
+
+    def test_shape_mismatch_exhausts_budget_when_retries_disabled(self):
+        pat, owned = two_rank_halo()
+        w = SimWorld(2)
+        w.comm_max_retries = 0
+        w._post(0, 1, np.zeros(7))
+        with pytest.raises(CommRetriesExhaustedError) as ei:
             exchange_halo(w, pat, owned)
+        assert ei.value.last_error == "truncated"
+        w.purge_pending()
 
 
 class TestLeakDetection:
