@@ -4,7 +4,10 @@
 Tier-2 correctness gate alongside ``check_telemetry_regression.py`` and
 ``check_resilience_overhead.py``: invokes ``python -m repro analyze
 --strict`` over the source tree and exits non-zero when any RL (static)
-or KS (dynamic) finding survives pragma + baseline suppression.  The
+or KS (dynamic) finding survives pragma + baseline suppression.  Two
+stages: a fast ``--changed`` pass over git-modified files first (fails
+the gate early during pre-commit iteration), then the authoritative
+full-tree scan with the dynamic checks.  The
 shipped baseline (``benchmarks/analysis_baseline.json``) is empty and
 must stay empty for ``src/repro`` — it exists so a downstream fork can
 grandfather its own debt without editing this gate.
@@ -33,7 +36,11 @@ DEFAULT_BASELINE = os.path.join(
 
 
 def run_analyzer(
-    paths: list[str], baseline: str, no_dynamic: bool, seed: int
+    paths: list[str],
+    baseline: str,
+    no_dynamic: bool,
+    seed: int,
+    changed: bool = False,
 ) -> tuple[int, dict]:
     """Run ``python -m repro analyze --strict --format json``."""
     cmd = [
@@ -51,6 +58,8 @@ def run_analyzer(
         cmd += ["--baseline", baseline]
     if no_dynamic:
         cmd.append("--no-dynamic")
+    if changed:
+        cmd.append("--changed")
     cmd += paths
     env = dict(os.environ)
     src = os.path.join(REPO_ROOT, "src")
@@ -93,8 +102,34 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--seed", type=int, default=0, help="dynamic-replay seed"
     )
+    ap.add_argument(
+        "--full-only",
+        action="store_true",
+        help="skip the fast --changed first stage",
+    )
     args = ap.parse_args(argv)
 
+    # Stage 1: fast fail on git-modified files (static rules only; the
+    # CLI itself falls back to a full scan when git is unavailable, so
+    # this stage is at worst a duplicate of stage 2's static half).
+    if not args.full_only:
+        code, doc = run_analyzer(
+            args.paths, args.baseline, True, args.seed, changed=True
+        )
+        stage1 = doc.get("findings", [])
+        if stage1:
+            print(
+                f"STATIC ANALYSIS GATE FAILED in changed files "
+                f"({len(stage1)} findings, full scan skipped):"
+            )
+            for f in stage1:
+                loc = f.get("kernel") or f"{f['path']}:{f['line']}"
+                print(
+                    f"  - {f['rule']} [{f['severity']}] {loc}: {f['message']}"
+                )
+            return 1
+
+    # Stage 2: the authoritative full-tree scan (plus dynamic checks).
     code, doc = run_analyzer(
         args.paths, args.baseline, args.no_dynamic, args.seed
     )

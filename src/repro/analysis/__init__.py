@@ -6,7 +6,12 @@ Two halves, one findings stream (see ``docs/static_analysis.md``):
   ``RL006`` enforcing the determinism and cost-accounting contract the
   paper's pipeline rests on (stable sorts, wrapped scatter-writes,
   seeded RNG, factory-only smoother construction, accounted kernels,
-  balanced phase scopes);
+  balanced phase scopes), plus the path-sensitive protocol rules
+  ``RL007`` - ``RL009`` (:mod:`repro.analysis.protocol`) built on
+  per-function CFGs (:mod:`repro.analysis.cfg`) and a whole-package
+  call graph (:mod:`repro.analysis.interproc`): halo begin/finish and
+  durable-write typestate, rank-divergent collectives, and
+  ``@reduction_contract`` verification;
 * **kernel sanitizer** (:mod:`repro.analysis.sanitizer` /
   :mod:`repro.analysis.determinism`) — shadow-memory write-set tracking
   of the Stage-2 scatter launches plus a permuted-thread replay harness
@@ -42,18 +47,31 @@ from repro.analysis.lint import (
     load_baseline,
     write_baseline,
 )
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.interproc import ProjectIndex
+from repro.analysis.protocol import (
+    analyze_protocol_paths,
+    analyze_protocol_source,
+    analyze_protocol_sources,
+)
 from repro.analysis.sanitizer import KernelSanitizer, LaunchRecord
 
 __all__ = [
     "ATOMIC_BOUND_SAFETY",
     "AnalysisReport",
+    "CFG",
     "Finding",
     "KernelSanitizer",
     "LaunchRecord",
+    "ProjectIndex",
     "RULES",
     "ThreadSchedule",
+    "analyze_protocol_paths",
+    "analyze_protocol_source",
+    "analyze_protocol_sources",
     "apply_baseline",
     "atomic_deviation_bound",
+    "build_cfg",
     "check_assembly_pipeline",
     "check_scatter_modes",
     "iter_python_files",

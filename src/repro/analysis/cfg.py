@@ -1,0 +1,458 @@
+"""Per-function control-flow graphs over stdlib ``ast``.
+
+The path-sensitive rules (RL007/RL008 and the RL006 upgrade in
+:mod:`repro.analysis.protocol`) need real control flow, not just syntax:
+a halo ``begin`` is only balanced when *every* path — including the
+exception edge out of a ``try`` body and the early ``return`` inside a
+loop — reaches exactly one ``finish``.  This module builds one
+:class:`CFG` per function, statement-granular, from the stdlib AST.
+
+Exception model (deliberate, documented here because every client
+depends on it):
+
+* **Explicit flow is exact**: ``if``/``while``/``for`` (with ``else``),
+  ``break``/``continue``/``return``/``raise``, ``try``/``except``/
+  ``else``/``finally``, ``with``, ``match``.
+* **Implicit exceptions are modeled only inside ``try`` bodies.**  Every
+  statement lexically inside a ``try`` (that has handlers or a
+  ``finally``) gets an edge to that try's *unwind* node, which dispatches
+  to the handlers and, for the no-handler-matches case, routes through
+  the ``finally`` toward the enclosing handler or the raise-exit.
+  Statements outside any ``try`` are assumed non-throwing: otherwise
+  every call would fork the graph, and the straight-line
+  ``begin → interior compute → finish`` idiom (legal exactly because the
+  caller owns no other cleanup) would drown RL007 in noise.
+* **``finally`` blocks are inlined per route.**  Each distinct way of
+  leaving the ``try`` (normal completion, each abrupt jump, the unwind
+  propagation) gets its own copy of the ``finally`` subgraph, so the
+  typestate walker sees the cleanup events on every path without merging
+  unrelated continuations.  CFG nodes therefore may share one underlying
+  AST statement; analyses key on nodes, not statements.
+* ``with`` is a plain header + body (``__exit__`` cleanup actions are
+  not events any current rule tracks).
+
+Synthetic nodes: ``entry``, ``exit`` (normal returns), ``raise-exit``
+(exceptions escaping the function), and one ``unwind`` per ``try``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Fixed indices of the synthetic boundary nodes in every CFG.
+ENTRY, EXIT, RAISE_EXIT = 0, 1, 2
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement (or header) or a synthetic boundary."""
+
+    idx: int
+    #: The underlying statement; None for synthetic nodes.  Compound
+    #: statements contribute their *header* only (test / iter / items);
+    #: their bodies are separate nodes.
+    stmt: ast.stmt | None
+    #: "entry" | "exit" | "raise" | "unwind" | "stmt"
+    kind: str
+    succs: list[int] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> int:
+        """Source line (0 for synthetic nodes)."""
+        return getattr(self.stmt, "lineno", 0)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    nodes: list[CFGNode]
+    #: ``(if_node_idx, true_arm_entry_idxs)`` for every ``if`` statement,
+    #: in source order — RL008 derives the false-arm entries as the
+    #: remaining non-unwind successors of the ``if`` node.
+    if_arms: list[tuple[int, tuple[int, ...]]] = field(default_factory=list)
+
+    def successors(self, idx: int) -> list[int]:
+        """Successor indices of node ``idx``."""
+        return self.nodes[idx].succs
+
+    def reachable(
+        self, starts: Iterable[int], blocked: frozenset[int] = frozenset()
+    ) -> set[int]:
+        """Nodes reachable from ``starts`` without entering ``blocked``."""
+        seen: set[int] = set()
+        stack = [s for s in starts if s not in blocked]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            stack.extend(
+                s for s in self.nodes[n].succs
+                if s not in seen and s not in blocked
+            )
+        return seen
+
+    def exit_nodes(self) -> tuple[int, int]:
+        """The normal-exit and raise-exit node indices."""
+        return EXIT, RAISE_EXIT
+
+
+@dataclass
+class _FinFrame:
+    """A pending ``finally`` body and the context it must run in."""
+
+    body: list[ast.stmt]
+    #: Stack depths *outside* the owning try (restored while inlining).
+    outer_fin_len: int
+    outer_exc_len: int
+
+
+@dataclass
+class _ExcFrame:
+    """Where an exception raised in the current context lands."""
+
+    unwind: int
+    #: ``_finallys`` depth at push: finallys opened *after* this frame
+    #: sit between a raise site and the unwind node.
+    fin_len: int
+
+
+@dataclass
+class _LoopFrame:
+    head: int
+    breaks: list[int] = field(default_factory=list)
+    #: Stack depths at loop entry — break/continue run only the finallys
+    #: opened inside the loop.
+    fin_len: int = 0
+
+
+class _Builder:
+    """Imperative CFG builder using a dangling-edge frontier."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.func = func
+        self.nodes: list[CFGNode] = []
+        self.if_arms: list[tuple[int, tuple[int, ...]]] = []
+        for kind in ("entry", "exit", "raise"):
+            self._new(None, kind)
+        #: Node indices whose next sequential successor is pending.
+        self.frontier: list[int] = [ENTRY]
+        self._finallys: list[_FinFrame] = []
+        self._exc: list[_ExcFrame] = []
+        self._loops: list[_LoopFrame] = []
+
+    def build(self) -> CFG:
+        self._emit_block(self.func.body)
+        # Falling off the end of the body is an implicit `return None`.
+        self._connect(self.frontier, EXIT)
+        self.frontier = []
+        return CFG(func=self.func, nodes=self.nodes, if_arms=self.if_arms)
+
+    # -- graph primitives ---------------------------------------------------
+
+    def _new(self, stmt: ast.stmt | None, kind: str) -> int:
+        idx = len(self.nodes)
+        self.nodes.append(CFGNode(idx=idx, stmt=stmt, kind=kind))
+        return idx
+
+    def _connect(self, sources: Iterable[int], target: int) -> None:
+        for s in sources:
+            if target not in self.nodes[s].succs:
+                self.nodes[s].succs.append(target)
+
+    def _stmt_node(self, stmt: ast.stmt) -> int:
+        """Append a statement node, linking it from the frontier.
+
+        Inside a ``try`` (with handlers or finally) the node also gets
+        the implicit-exception edge to the nearest unwind node.
+        """
+        idx = self._new(stmt, "stmt")
+        self._connect(self.frontier, idx)
+        self.frontier = [idx]
+        if self._exc:
+            self._connect([idx], self._exc[-1].unwind)
+        return idx
+
+    # -- abrupt-jump routing ------------------------------------------------
+
+    def _run_finallys(
+        self, sources: list[int], frames: list[_FinFrame]
+    ) -> list[int]:
+        """Inline copies of ``frames`` (innermost first); returns frontier."""
+        saved = (self.frontier, self._finallys, self._exc)
+        frontier = sources
+        for i in range(len(frames) - 1, -1, -1):
+            fr = frames[i]
+            # The finally body runs in the context *outside* its try.
+            self.frontier = frontier
+            self._finallys = self._finallys[: fr.outer_fin_len]
+            self._exc = self._exc[: fr.outer_exc_len]
+            self._emit_block(fr.body)
+            frontier = self.frontier
+        self.frontier, self._finallys, self._exc = saved
+        return frontier
+
+    def _jump(
+        self, sources: list[int], target: int, fin_len_at_target: int
+    ) -> None:
+        """Route ``sources`` to ``target`` through intervening finallys."""
+        pend = self._finallys[fin_len_at_target:]
+        out = self._run_finallys(sources, list(pend)) if pend else sources
+        self._connect(out, target)
+
+    def _exc_route(self, sources: list[int]) -> None:
+        """Route an explicit ``raise`` to its landing site."""
+        if self._exc:
+            fr = self._exc[-1]
+            self._jump(sources, fr.unwind, fr.fin_len)
+        else:
+            self._jump(sources, RAISE_EXIT, 0)
+
+    # -- statement emission -------------------------------------------------
+
+    def _emit_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._emit(stmt)
+
+    def _emit(self, stmt: ast.stmt) -> None:
+        name = type(stmt).__name__
+        handler = getattr(self, f"_emit_{name}", None)
+        if handler is not None:
+            handler(stmt)
+        else:
+            # Simple statement (Assign, Expr, Assert, Import, nested
+            # def/class header, ...): one node, straight-line flow.
+            self._stmt_node(stmt)
+
+    def _emit_Return(self, stmt: ast.Return) -> None:
+        idx = self._stmt_node(stmt)
+        self._jump([idx], EXIT, 0)
+        self.frontier = []
+
+    def _emit_Raise(self, stmt: ast.Raise) -> None:
+        idx = self._stmt_node(stmt)
+        self._exc_route([idx])
+        self.frontier = []
+
+    def _emit_Break(self, stmt: ast.Break) -> None:
+        idx = self._stmt_node(stmt)
+        if self._loops:
+            loop = self._loops[-1]
+            pend = self._finallys[loop.fin_len:]
+            out = self._run_finallys([idx], list(pend)) if pend else [idx]
+            loop.breaks.extend(out)
+        self.frontier = []
+
+    def _emit_Continue(self, stmt: ast.Continue) -> None:
+        idx = self._stmt_node(stmt)
+        if self._loops:
+            loop = self._loops[-1]
+            self._jump([idx], loop.head, loop.fin_len)
+        self.frontier = []
+
+    def _emit_If(self, stmt: ast.If) -> None:
+        head = self._stmt_node(stmt)
+        n_before = len(self.nodes)
+        self.frontier = [head]
+        self._emit_block(stmt.body)
+        body_f = self.frontier
+        true_entries = tuple(
+            i for i in self.nodes[head].succs if i >= n_before
+        )
+        self.if_arms.append((head, true_entries))
+        if stmt.orelse:
+            self.frontier = [head]
+            self._emit_block(stmt.orelse)
+            self.frontier = body_f + self.frontier
+        else:
+            self.frontier = body_f + [head]
+
+    def _emit_loop(self, stmt: ast.While | ast.For | ast.AsyncFor) -> None:
+        head = self._stmt_node(stmt)
+        self._loops.append(_LoopFrame(head=head, fin_len=len(self._finallys)))
+        self.frontier = [head]
+        self._emit_block(stmt.body)
+        self._connect(self.frontier, head)  # back edge
+        loop = self._loops.pop()
+        # Loop `else` runs on normal (non-break) termination.
+        self.frontier = [head]
+        if stmt.orelse:
+            self._emit_block(stmt.orelse)
+        self.frontier = self.frontier + loop.breaks
+
+    _emit_While = _emit_loop
+    _emit_For = _emit_loop
+    _emit_AsyncFor = _emit_loop
+
+    def _emit_With(self, stmt: ast.With | ast.AsyncWith) -> None:
+        self._stmt_node(stmt)
+        self._emit_block(stmt.body)
+
+    _emit_AsyncWith = _emit_With
+
+    def _emit_Match(self, stmt: ast.stmt) -> None:
+        head = self._stmt_node(stmt)
+        after: list[int] = [head]  # no case may match
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            self.frontier = [head]
+            self._emit_block(case.body)
+            after.extend(self.frontier)
+        self.frontier = after
+
+    def _emit_Try(self, stmt: ast.Try) -> None:
+        has_fin = bool(stmt.finalbody)
+        has_handlers = bool(stmt.handlers)
+        if not has_fin and not has_handlers:  # pragma: no cover - invalid py
+            self._emit_block(stmt.body)
+            return
+        if has_fin:
+            self._finallys.append(
+                _FinFrame(
+                    body=stmt.finalbody,
+                    outer_fin_len=len(self._finallys),
+                    outer_exc_len=len(self._exc),
+                )
+            )
+        fin_frame = self._finallys[-1] if has_fin else None
+        unwind = self._new(None, "unwind")
+        entry_frontier = self.frontier
+
+        # Body: implicit exceptions land on this try's unwind node.
+        self._exc.append(_ExcFrame(unwind=unwind, fin_len=len(self._finallys)))
+        self.frontier = entry_frontier
+        self._emit_block(stmt.body)
+        self._exc.pop()
+        body_f = self.frontier
+
+        # `else` runs after a body that completed normally (still covered
+        # by the finally, no longer by the handlers).
+        if stmt.orelse:
+            self._emit_block(stmt.orelse)
+            body_f = self.frontier
+
+        # Handlers: entered from the unwind node; this try's finally is
+        # still pending for them, the handlers themselves are not.
+        normal_exits = list(body_f)
+        for handler in stmt.handlers:
+            h = self._new(handler, "stmt")
+            self._connect([unwind], h)
+            if self._exc:
+                self._connect([h], self._exc[-1].unwind)
+            self.frontier = [h]
+            self._emit_block(handler.body)
+            normal_exits.extend(self.frontier)
+
+        # Unmatched-exception propagation: unwind → (finally copy) →
+        # enclosing unwind or the raise exit.
+        if has_fin:
+            self._finallys.pop()
+        prop = self._run_finallys([unwind], [fin_frame]) if has_fin else [unwind]
+        if self._exc:
+            self._connect(prop, self._exc[-1].unwind)
+        else:
+            self._connect(prop, RAISE_EXIT)
+
+        # Normal completion: through the finally once.
+        if has_fin:
+            self.frontier = self._run_finallys(normal_exits, [fin_frame])
+        else:
+            self.frontier = normal_exits
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder(func).build()
+
+
+# -- statement event surface --------------------------------------------------
+
+
+def header_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The sub-expressions a CFG node actually evaluates.
+
+    Compound statements contribute only their header (``if``/``while``
+    tests, ``for`` iterables, ``with`` context expressions, ``match``
+    subjects) — their bodies are separate CFG nodes, so scanning the
+    whole subtree would double-count every nested event.  Simple
+    statements contribute themselves.  Nested function/class definitions
+    contribute nothing: their bodies run at call time, not here.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    if type(stmt).__name__ == "Match":
+        return [stmt.subject]  # type: ignore[attr-defined]
+    return [stmt]
+
+
+def calls_in_order(roots: Iterable[ast.AST]) -> list[ast.Call]:
+    """Call expressions under ``roots`` in (approximate) evaluation order.
+
+    Post-order, so argument calls precede the call consuming them —
+    ``finish(begin())`` yields ``begin`` then ``finish``.  Lambdas and
+    nested definitions are opaque (their bodies run later, if ever).
+    """
+    out: list[ast.Call] = []
+
+    def walk(node: ast.AST) -> None:
+        if isinstance(
+            node,
+            (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+        if isinstance(node, ast.Call):
+            out.append(node)
+
+    for root in roots:
+        if root is not None:
+            walk(root)
+    return out
+
+
+def node_calls(node: CFGNode) -> list[ast.Call]:
+    """Calls evaluated by one CFG node, in evaluation order."""
+    if node.stmt is None:
+        return []
+    return calls_in_order(header_exprs(node.stmt))
+
+
+def function_defs(
+    tree: ast.AST,
+) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """All function definitions in a module with dotted qualnames.
+
+    Nested functions get ``outer.inner`` names; methods get
+    ``Class.method`` — the same convention the linter uses.
+    """
+    out: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+
+    def visit(node: ast.AST, scope: tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = ".".join(scope + (child.name,))
+                out.append((qual, child))
+                visit(child, scope + (child.name,))
+            elif isinstance(child, ast.ClassDef):
+                visit(child, scope + (child.name,))
+            else:
+                visit(child, scope)
+
+    visit(tree, ())
+    return out

@@ -31,6 +31,10 @@ class Finding:
     message: str
     #: Dynamic findings name the offending kernel instead of a source line.
     kernel: str | None = None
+    #: Enclosing function qualname for static findings (``Class.method``);
+    #: None for module-level and dynamic findings.  Baseline keys use it
+    #: to disambiguate identical line text at different sites.
+    qualname: str | None = None
 
     def location(self) -> str:
         """``path:line`` for lint findings, ``kernel:<name>`` for dynamic."""
@@ -43,6 +47,8 @@ class Finding:
         d = asdict(self)
         if self.kernel is None:
             d.pop("kernel")
+        if self.qualname is None:
+            d.pop("qualname")
         return d
 
 
@@ -114,11 +120,17 @@ def render_text(report: AnalysisReport) -> str:
 
 
 def render_json(report: AnalysisReport) -> str:
-    """Machine-readable rendering (schema ``repro.analysis/1``)."""
+    """Machine-readable rendering (schema ``repro.analysis/2``).
+
+    ``/2`` over ``/1``: findings may carry a ``qualname`` field (the
+    enclosing function), and the RL007/RL008/RL009 protocol rules
+    appear in the stream.  Consumers of ``/1`` that ignored unknown
+    finding fields read ``/2`` unchanged.
+    """
     metrics = MetricsRegistry()
     report.publish_metrics(metrics)
     doc = {
-        "schema": "repro.analysis/1",
+        "schema": "repro.analysis/2",
         "findings": [f.to_dict() for f in sort_findings(report.findings)],
         "suppressed": [
             f.to_dict() for f in sort_findings(report.suppressed)

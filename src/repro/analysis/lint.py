@@ -49,6 +49,14 @@ RL005   unaccounted kernel: a function in the device-kernel packages
 RL006   unbalanced phase push/pop: ``phase_scope`` used outside a
         ``with`` statement, or direct ``_phase_stack``/``_pop_phase``
         manipulation outside ``SimWorld`` itself.
+RL007   resource typestate (path-sensitive, :mod:`.protocol`): a halo
+        ``exchange_halo_begin`` that can leave its function without
+        ``exchange_halo_finish``, a durable write missing the
+        tmp→fsync→replace pairing, or a phase push unpopped on some path.
+RL008   collective consistency (:mod:`.protocol`): a collective
+        reachable under a rank-dependent branch — deadlock risk.
+RL009   reduction contracts (:mod:`.protocol`): ``@reduction_contract``
+        declarations vs statically counted reduction sites.
 ======  ==================================================================
 """
 
@@ -70,6 +78,18 @@ RULES: dict[str, str] = {
     "RL004": "direct smoother construction bypassing make_smoother",
     "RL005": "bulk kernel with no reachable world.ops.record accounting",
     "RL006": "unbalanced/raw SimWorld phase push/pop",
+    "RL007": (
+        "resource typestate: halo begin without finish, unsafe "
+        "tmp-write/fsync/replace, or unbalanced phase push on some path"
+    ),
+    "RL008": (
+        "collective reachable under a rank-dependent branch "
+        "(deadlock risk at scale)"
+    ),
+    "RL009": (
+        "declared @reduction_contract disagrees with the statically "
+        "counted reduction sites"
+    ),
 }
 
 #: Packages whose modules are treated as device-kernel code (RL002/RL005).
@@ -217,7 +237,7 @@ class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, source: str) -> None:
         self.path = path
         self.lines = source.splitlines()
-        self.raw: list[tuple[str, ast.AST, str]] = []
+        self.raw: list[tuple[str, ast.AST, str, str | None]] = []
         self.smoother_classes = _smoother_class_names()
         self.kernel_scope = _in_kernel_packages(path)
         self.smoothers_scope = _in_smoothers_package(path)
@@ -228,8 +248,11 @@ class _Linter(ast.NodeVisitor):
         self.functions: list[_FunctionInfo] = []
         # phase_scope calls that legitimately appear as `with` items.
         self._with_context_calls: set[int] = set()
-        # Classes defined in this file that subclass a smoother class
-        # (their own methods may name the base, e.g. super() patterns).
+        # Registry dispatch bookkeeping for RL005: dict-shaped registries
+        # (name -> registered simple names) and per-function subscript
+        # loads, resolved into call-graph edges in resolve_unaccounted.
+        self.registry_targets: dict[str, set[str]] = {}
+        self._subscript_loads: list[tuple[_FunctionInfo, str]] = []
 
     # -- context helpers ---------------------------------------------------
 
@@ -237,7 +260,8 @@ class _Linter(ast.NodeVisitor):
         return ".".join(self._scope + [name])
 
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
-        self.raw.append((rule, node, message))
+        qualname = ".".join(self._scope) or None
+        self.raw.append((rule, node, message, qualname))
 
     def _current_fn(self) -> _FunctionInfo | None:
         return self._fn_stack[-1] if self._fn_stack else None
@@ -265,6 +289,44 @@ class _Linter(ast.NodeVisitor):
         for item in node.items:
             if isinstance(item.context_expr, ast.Call):
                 self._with_context_calls.add(id(item.context_expr))
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Registry shapes: `_REGISTRY = {"k": fn, ...}` (dict literal of
+        # names) and `REGISTRY[key] = fn` (incremental registration).
+        if len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and isinstance(
+                node.value, ast.Dict
+            ):
+                names = {
+                    v.id for v in node.value.values
+                    if isinstance(v, ast.Name)
+                }
+                if names:
+                    self.registry_targets.setdefault(target.id, set()).update(
+                        names
+                    )
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and isinstance(node.value, ast.Name)
+            ):
+                self.registry_targets.setdefault(
+                    target.value.id, set()
+                ).add(node.value.id)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # `REGISTRY[name](...)` dispatch sites (resolved after the walk,
+        # since registries may be defined below their first use).
+        fn = self._current_fn()
+        if (
+            fn is not None
+            and isinstance(node.value, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+        ):
+            self._subscript_loads.append((fn, node.value.id))
         self.generic_visit(node)
 
     # -- the rules ---------------------------------------------------------
@@ -414,6 +476,23 @@ class _Linter(ast.NodeVisitor):
                     if g.qualname != f.qualname:
                         adj[f.qualname].add(g.qualname)
                         adj[g.qualname].add(f.qualname)
+        # Registry-dispatch edges: a function subscripting a registry is
+        # connected to every registered target — a factory-only kernel
+        # (reachable solely through make_smoother/make_krylov_solver-style
+        # dict dispatch) is otherwise invisible to this fixpoint.
+        # Registered classes expand to their methods.
+        for f, reg_name in self._subscript_loads:
+            for target in self.registry_targets.get(reg_name, ()):
+                expanded = list(by_simple.get(target, []))
+                prefix = f"{target}."
+                expanded.extend(
+                    g for g in self.functions
+                    if g.qualname.startswith(prefix)
+                )
+                for g in expanded:
+                    if g.qualname != f.qualname:
+                        adj[f.qualname].add(g.qualname)
+                        adj[g.qualname].add(f.qualname)
         changed = True
         while changed:
             changed = False
@@ -425,13 +504,14 @@ class _Linter(ast.NodeVisitor):
             if accounted[f.qualname] or not f.bulk_ops:
                 continue
             ops = ", ".join(sorted({b for b, _l, _n in f.bulk_ops}))
-            self._emit(
+            self.raw.append((
                 "RL005",
                 f.node,
                 f"{f.qualname} performs bulk data motion ({ops}) with no "
                 "reachable world.ops.record / record_* accounting: the "
                 "perf model will not see this kernel",
-            )
+                f.qualname,
+            ))
 
 
 def _pragma_rules(line: str) -> set[str]:
@@ -491,13 +571,14 @@ def lint_source(source: str, path: str) -> AnalysisReport:
     linter.visit(tree)
     linter.resolve_unaccounted()
     severity = {"RL005": "warning"}
-    for rule, node, message in linter.raw:
+    for rule, node, message, qualname in linter.raw:
         finding = Finding(
             rule=rule,
             path=path,
             line=getattr(node, "lineno", 1),
             severity=severity.get(rule, "error"),
             message=message,
+            qualname=qualname,
         )
         is_fn = isinstance(
             node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
@@ -540,15 +621,45 @@ def lint_paths(paths: list[str]) -> AnalysisReport:
 
 # -- baseline ----------------------------------------------------------------
 
-BASELINE_SCHEMA = "repro.analysis-baseline/1"
+BASELINE_SCHEMA = "repro.analysis-baseline/2"
+#: Accepted for reading (one-shot migration): /1 keyed findings by
+#: (rule, path, line-text) only, so identical line text at two sites in
+#: one file collided onto one key and the second finding was silently
+#: masked.  /2 keys add the enclosing qualname and an occurrence index.
+LEGACY_BASELINE_SCHEMA = "repro.analysis-baseline/1"
 
 
-def _baseline_key(finding: Finding, lines_by_path: dict[str, list[str]]) -> tuple:
-    lines = lines_by_path.get(finding.path)
-    text = ""
-    if lines and 1 <= finding.line <= len(lines):
-        text = lines[finding.line - 1].strip()
-    return (finding.rule, finding.path.replace(os.sep, "/"), text)
+def _baseline_keys(
+    findings: list[Finding], lines_by_path: dict[str, list[str]]
+) -> list[tuple]:
+    """Per-finding /2 keys: (rule, path, qualname, line_text, occurrence).
+
+    The occurrence index counts same-(rule, path, qualname, text)
+    findings in line order, so two hits on textually identical lines get
+    distinct keys — the /1 collision this schema exists to fix.
+    """
+    order = sorted(
+        range(len(findings)),
+        key=lambda i: (findings[i].path, findings[i].line, findings[i].rule),
+    )
+    counts: dict[tuple, int] = {}
+    keys: list[tuple] = [()] * len(findings)
+    for i in order:
+        f = findings[i]
+        lines = lines_by_path.get(f.path)
+        text = ""
+        if lines and 1 <= f.line <= len(lines):
+            text = lines[f.line - 1].strip()
+        base = (
+            f.rule,
+            f.path.replace(os.sep, "/"),
+            f.qualname or "",
+            text,
+        )
+        idx = counts.get(base, 0)
+        counts[base] = idx + 1
+        keys[i] = base + (idx,)
+    return keys
 
 
 def _source_lines(paths: set[str]) -> dict[str, list[str]]:
@@ -563,27 +674,48 @@ def _source_lines(paths: set[str]) -> dict[str, list[str]]:
 
 
 def load_baseline(path: str) -> set[tuple]:
-    """Load a baseline file into the set of grandfathered finding keys."""
+    """Load a baseline file into the set of grandfathered finding keys.
+
+    ``/2`` entries load as 5-tuples, legacy ``/1`` entries as 3-tuples
+    (matched with their historical any-occurrence semantics); any other
+    schema is an error.
+    """
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("schema") != BASELINE_SCHEMA:
-        raise ValueError(
-            f"{path}: schema {doc.get('schema')!r} != {BASELINE_SCHEMA!r}"
-        )
-    return {
-        (e["rule"], e["path"], e.get("line_text", ""))
-        for e in doc.get("findings", [])
-    }
+    schema = doc.get("schema")
+    if schema == BASELINE_SCHEMA:
+        return {
+            (
+                e["rule"],
+                e["path"],
+                e.get("qualname", ""),
+                e.get("line_text", ""),
+                int(e.get("occurrence", 0)),
+            )
+            for e in doc.get("findings", [])
+        }
+    if schema == LEGACY_BASELINE_SCHEMA:
+        return {
+            (e["rule"], e["path"], e.get("line_text", ""))
+            for e in doc.get("findings", [])
+        }
+    raise ValueError(
+        f"{path}: schema {schema!r} != {BASELINE_SCHEMA!r}"
+    )
 
 
 def write_baseline(path: str, report: AnalysisReport) -> None:
-    """Write the report's live findings as a new baseline file."""
+    """Write the report's live findings as a new /2 baseline file."""
     lines = _source_lines({f.path for f in report.findings})
     entries = [
-        {"rule": k[0], "path": k[1], "line_text": k[2]}
-        for k in sorted(
-            {_baseline_key(f, lines) for f in report.findings}
-        )
+        {
+            "rule": k[0],
+            "path": k[1],
+            "qualname": k[2],
+            "line_text": k[3],
+            "occurrence": k[4],
+        }
+        for k in sorted(set(_baseline_keys(report.findings, lines)))
     ]
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(
@@ -597,9 +729,11 @@ def apply_baseline(report: AnalysisReport, baseline: set[tuple]) -> None:
     if not baseline:
         return
     lines = _source_lines({f.path for f in report.findings})
+    keys = _baseline_keys(report.findings, lines)
     live: list[Finding] = []
-    for f in report.findings:
-        if _baseline_key(f, lines) in baseline:
+    for f, key in zip(report.findings, keys):
+        legacy_key = (key[0], key[1], key[3])
+        if key in baseline or legacy_key in baseline:
             report.baselined.append(f)
         else:
             live.append(f)

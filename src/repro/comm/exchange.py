@@ -176,6 +176,16 @@ def exchange_halo_begin(
     nranks = pattern.nranks
     if len(owned) != nranks:
         raise ValueError("need one owned slice per rank")
+    # The RL007 runtime twin: a second begin on the same pattern before
+    # its finish would double-post every send, and the stale first
+    # round's messages would satisfy the second round's receives.
+    if id(pattern) in world._halo_inflight:
+        world.metrics.counter("comm.double_begin", phase=world.phase).inc()
+        raise RuntimeError(
+            "exchange_halo_begin called twice on the same pattern "
+            "without an intervening exchange_halo_finish"
+        )
+    world._halo_inflight.add(id(pattern))
     # Post all sends, then receive: matches the MPI_Isend/Irecv structure.
     for src in range(nranks):
         for dst, local_idx in pattern.per_rank[src].send_to:
@@ -217,6 +227,7 @@ def exchange_halo_finish(
     if handle.finished:
         raise RuntimeError("halo handle already finished")
     handle.finished = True
+    world._halo_inflight.discard(id(handle.pattern))
     pattern, owned = handle.pattern, handle.owned
     ext = [np.zeros(rx.n_ext, dtype=np.float64) for rx in pattern.per_rank]
     for dst in range(pattern.nranks):

@@ -147,6 +147,9 @@ class SimWorld:
         self._mailboxes: dict[tuple[int, int], deque[MessageEnvelope]] = {}
         self._next_seq: dict[tuple[int, int], int] = {}
         self._last_delivered: dict[tuple[int, int], int] = {}
+        #: Patterns (by id) with a posted-but-unfinished split halo
+        #: exchange — exchange_halo_begin's double-begin guard.
+        self._halo_inflight: set[int] = set()
 
     # -- phase labeling ----------------------------------------------------
 
@@ -357,6 +360,9 @@ class SimWorld:
         self._mailboxes.clear()
         self._next_seq.clear()
         self._last_delivered.clear()
+        # The aborted round's begins died with their messages; a fresh
+        # begin on the same pattern must not trip the double-begin guard.
+        self._halo_inflight.clear()
         return purged
 
     def assert_no_pending(self, context: str = "") -> None:

@@ -22,6 +22,51 @@ from repro.linalg.parvector import ParVector
 KRYLOV_METHODS = ("gmres", "cg", "pipelined_cg")
 
 
+def reduction_contract(
+    *,
+    setup: int,
+    per_iteration: int,
+    per_restart: int | None = None,
+    assume: dict[str, int] | None = None,
+):
+    """Declare a kernel's distributed-reduction budget per region.
+
+    The comm-avoiding literature treats the allreduce count per Krylov
+    iteration as the algorithm's *contract* — it is what Fig. 8/9-style
+    scaling regimes are computed from, and PR 8's hidden third CG
+    reduction showed the implementation can silently drift from it.
+    This decorator pins the contract on the source:
+
+    * ``setup`` — fused reductions outside any loop (initial norms,
+      first-step dot products);
+    * ``per_iteration`` — reductions in the innermost iteration loop;
+    * ``per_restart`` — for nested-loop methods (restarted GMRES),
+      reductions at the intermediate loop level; ``None`` declares
+      there are none;
+    * ``assume`` — prices for helper calls whose reductions are their
+      own contract (e.g. ``{"orthogonalize": 1}`` under the one-reduce
+      orthogonalizer).
+
+    The declaration is verified two ways: statically by the RL009 rule
+    in :mod:`repro.analysis.protocol` (counts reachable reduction call
+    sites per loop region against the declared numbers) and dynamically
+    by the collective-count pins in ``tests/test_comm_avoiding.py``.
+    The function is returned unwrapped — the contract is metadata on
+    ``__reduction_contract__``, never a runtime cost.
+    """
+
+    def attach(fn):
+        fn.__reduction_contract__ = {
+            "setup": setup,
+            "per_iteration": per_iteration,
+            "per_restart": per_restart,
+            "assume": dict(assume or {}),
+        }
+        return fn
+
+    return attach
+
+
 @runtime_checkable
 class Preconditioner(Protocol):
     """Anything with an ``apply(r) -> z`` action."""

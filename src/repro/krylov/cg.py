@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.krylov.api import KrylovResult, Preconditioner
+from repro.krylov.api import KrylovResult, Preconditioner, reduction_contract
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector, fused_dots
 
@@ -54,6 +54,10 @@ class CG:
     def _precond(self, r: ParVector) -> ParVector:
         return r.copy() if self.M is None else self.M.apply(r)
 
+    # Fused-dot CG: initial ``b.norm`` + first fused (r·z, r·r) at setup,
+    # then one ``p·Ap`` and one fused (r·z, r·r) per iteration — the
+    # dynamic pin in tests/test_comm_avoiding.py is 2 + 2·iterations.
+    @reduction_contract(setup=2, per_iteration=2)
     def solve(self, b: ParVector, x0: ParVector | None = None) -> KrylovResult:
         """Solve ``A x = b``."""
         A = self.A

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.krylov.api import KrylovResult, Preconditioner
+from repro.krylov.api import KrylovResult, Preconditioner, reduction_contract
 from repro.krylov.gram_schmidt import orthogonalize
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
@@ -61,6 +61,14 @@ class GMRES:
             return v.copy()
         return self.M.apply(v)
 
+    # Restarted GMRES: ``b.norm`` at setup; per restart cycle the
+    # entering and exiting residual norms; per inner (Arnoldi) iteration
+    # one orthogonalize — whose own reduction count (j+1 / 3 / 1 by
+    # variant) is gram_schmidt's contract, priced here at the one-reduce
+    # budget the solver is configured for.
+    @reduction_contract(
+        setup=1, per_iteration=1, per_restart=2, assume={"orthogonalize": 1}
+    )
     def solve(self, b: ParVector, x0: ParVector | None = None) -> KrylovResult:
         """Solve ``A x = b``.
 

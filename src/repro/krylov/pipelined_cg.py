@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.krylov.api import KrylovResult, Preconditioner
+from repro.krylov.api import KrylovResult, Preconditioner, reduction_contract
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector, fused_dots
 
@@ -72,6 +72,11 @@ class PipelinedCG:
     def _precond(self, r: ParVector) -> ParVector:
         return r.copy() if self.M is None else self.M.apply(r)
 
+    # One fused reduction per iteration is the whole point of the
+    # pipelined variant: ``b.norm`` at setup, a single fused
+    # (r·z, w·z, r·r) per loop pass — dynamically 2 + iterations because
+    # the loop body runs iterations + 1 times.
+    @reduction_contract(setup=1, per_iteration=1)
     def solve(self, b: ParVector, x0: ParVector | None = None) -> KrylovResult:
         """Solve ``A x = b``."""
         A = self.A

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.krylov.api import reduction_contract
 from repro.linalg.parcsr import ParCSRMatrix
 from repro.linalg.parvector import ParVector
 from repro.smoothers.base import BlockSplitting, warn_direct_construction
@@ -82,6 +83,10 @@ class ChebyshevSmoother:
         z = r.like(np.zeros(r.n))
         return self.smooth(r, z)
 
+    # The smoother's selling point at scale (§4): zero reductions — the
+    # eigenvalue estimate is paid once at construction, the polynomial
+    # recurrence itself is all local axpys and halo'd residuals.
+    @reduction_contract(setup=0, per_iteration=0)
     def smooth(self, b: ParVector, x: ParVector) -> ParVector:
         """Chebyshev iteration on ``D^-1 A x = D^-1 b`` in place."""
         A = self.A

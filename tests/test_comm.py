@@ -15,7 +15,12 @@ from repro.comm import (
     build_exchange_pattern,
     payload_checksum,
 )
-from repro.comm.exchange import exchange_halo, owner_of
+from repro.comm.exchange import (
+    exchange_halo,
+    exchange_halo_begin,
+    exchange_halo_finish,
+    owner_of,
+)
 from repro.comm.traffic import TrafficLog
 from repro.resilience import FaultInjector, FaultSpec
 
@@ -537,3 +542,55 @@ class TestLeakDetection:
         sim.run(1)
         assert sim.world.pending_messages() == 0
         sim.world.barrier()
+
+
+class TestSplitHaloGuard:
+    """The runtime twin of the RL007 static rule: a second
+    exchange_halo_begin on a pattern whose first round is still in
+    flight would double-post every send, so it raises instead."""
+
+    def _fixture(self):
+        offs = np.array([0, 3, 6])
+        pat = build_exchange_pattern(offs, [np.array([4]), np.array([0, 2])])
+        owned = [np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0])]
+        return SimWorld(2), pat, owned
+
+    def test_double_begin_raises_and_counts(self):
+        w, pat, owned = self._fixture()
+        h = exchange_halo_begin(w, pat, owned)
+        with pytest.raises(RuntimeError, match="twice on the same pattern"):
+            exchange_halo_begin(w, pat, owned)
+        assert w.metrics.counter_total("comm.double_begin") == 1
+        # The first round is still intact and drains normally.
+        ext = exchange_halo_finish(w, h)
+        assert ext[0].tolist() == [5.0]
+        assert w.pending_messages() == 0
+
+    def test_begin_finish_begin_is_legal(self):
+        w, pat, owned = self._fixture()
+        for _ in range(3):
+            ext = exchange_halo_finish(
+                w, exchange_halo_begin(w, pat, owned)
+            )
+            assert ext[1].tolist() == [1.0, 3.0]
+        assert w.metrics.counter_total("comm.double_begin") == 0
+
+    def test_purge_pending_clears_inflight_set(self):
+        w, pat, owned = self._fixture()
+        exchange_halo_begin(w, pat, owned)
+        # Recovery path: the ladder abandons the round wholesale.
+        w.purge_pending()
+        h = exchange_halo_begin(w, pat, owned)
+        ext = exchange_halo_finish(w, h)
+        assert ext[0].tolist() == [5.0]
+
+    def test_distinct_patterns_may_overlap(self):
+        w, pat, owned = self._fixture()
+        offs = np.array([0, 3, 6])
+        pat2 = build_exchange_pattern(
+            offs, [np.array([4]), np.array([0, 2])]
+        )
+        h1 = exchange_halo_begin(w, pat, owned)
+        h2 = exchange_halo_begin(w, pat2, owned)
+        assert exchange_halo_finish(w, h2)[0].tolist() == [5.0]
+        assert exchange_halo_finish(w, h1)[0].tolist() == [5.0]

@@ -118,6 +118,63 @@ class TestReductionContracts:
         assert np.array_equal(ovl.x.data, sync.x.data)
 
 
+class TestDeclaredContracts:
+    """The @reduction_contract declarations (verified statically by
+    RL009) must agree with the dynamically measured collective counts —
+    the static and runtime views of one budget."""
+
+    def test_all_four_kernels_carry_contracts(self):
+        from repro.krylov import GMRES
+        from repro.smoothers.chebyshev import ChebyshevSmoother
+
+        assert CG.solve.__reduction_contract__ == {
+            "setup": 2,
+            "per_iteration": 2,
+            "per_restart": None,
+            "assume": {},
+        }
+        assert PipelinedCG.solve.__reduction_contract__ == {
+            "setup": 1,
+            "per_iteration": 1,
+            "per_restart": None,
+            "assume": {},
+        }
+        assert GMRES.solve.__reduction_contract__ == {
+            "setup": 1,
+            "per_iteration": 1,
+            "per_restart": 2,
+            "assume": {"orthogonalize": 1},
+        }
+        # Chebyshev is the reduction-free smoother: an explicitly
+        # declared zero, not an absent declaration.
+        c = ChebyshevSmoother.smooth.__reduction_contract__
+        assert c["setup"] == 0 and c["per_iteration"] == 0
+
+    def test_cg_contract_matches_measured_collectives(self):
+        A = poisson2d(12)
+        w, M = par(A)
+        b = M.new_vector(np.ones(A.shape[0]))
+        res = CG(M, tol=1e-8, max_iters=300).solve(b)
+        c = CG.solve.__reduction_contract__
+        assert (
+            c["setup"] + c["per_iteration"] * res.iterations
+            == w.traffic.collective_count()
+        )
+
+    def test_pipelined_cg_contract_matches_measured_collectives(self):
+        A = poisson2d(12)
+        w, M = par(A)
+        b = M.new_vector(np.ones(A.shape[0]))
+        res = PipelinedCG(M, tol=1e-8, max_iters=300).solve(b)
+        c = PipelinedCG.solve.__reduction_contract__
+        # The pipelined loop body runs iterations + 1 times (the fused
+        # triple is evaluated once more at the converged step).
+        assert (
+            c["setup"] + c["per_iteration"] * (res.iterations + 1)
+            == w.traffic.collective_count()
+        )
+
+
 class TestOverlapParity:
     """matvec(overlap=True) must be bitwise identical to the sync path."""
 
