@@ -108,15 +108,17 @@ def compare(
                     f"({b:.3f} -> {c:.3f}) exceeds {iters_tol * 100:.0f}%"
                 )
 
-    # Resilience/comm schema: the resilience.* counter names — including
-    # the checkpoint.* family — and the comm.* transport counters
-    # (retries, drops_detected, corrupt_detected, duplicates_discarded)
-    # must match exactly, label renderings included: the simulator is
-    # deterministic, so a vanished/renamed counter or a changed count is
-    # a recovery-path change, not noise.
+    # Resilience/comm/campaign schema: the resilience.* counter names —
+    # including the checkpoint.* family — the comm.* transport counters
+    # (retries, drops_detected, corrupt_detected, duplicates_discarded),
+    # and the campaign.* supervision counters (retries, requeues,
+    # quarantined, lease_expired, breaker_trips) must match exactly,
+    # label renderings included: the simulator is deterministic, so a
+    # vanished/renamed counter or a changed count is a recovery-path
+    # change, not noise.
     bm = base.get("metrics", {}).get("counters", {})
     cm = cur.get("metrics", {}).get("counters", {})
-    for prefix in ("resilience.", "comm."):
+    for prefix in ("resilience.", "comm.", "campaign."):
         family = prefix.rstrip(".")
         bres = {k: v for k, v in bm.items() if k.startswith(prefix)}
         cres = {k: v for k, v in cm.items() if k.startswith(prefix)}

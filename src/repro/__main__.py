@@ -14,9 +14,10 @@ Commands:
 * ``partition`` — compare RCB and multilevel decompositions (Figs. 4-5).
 * ``project`` — print the §6 exascale capability projection.
 * ``campaign`` — run (or resume) a sweep of jobs through the campaign
-  service: async queue, worker pool, content-addressed result cache
-  (see ``docs/campaign.md``).
-* ``analyze`` — repro-lint (RL001-RL006) + kernel sanitizer (KS001-KS005)
+  service: async queue, worker pool, content-addressed result cache,
+  and (``--supervised``) job-level fault domains with retry/backoff,
+  hang detection, and poison-job quarantine (see ``docs/campaign.md``).
+* ``analyze`` — repro-lint (RL001-RL010) + kernel sanitizer (KS001-KS005)
   over the source tree (see ``docs/static_analysis.md``).
 
 Conventions shared by every subcommand: ``-o/--output`` writes the
@@ -41,6 +42,7 @@ exit codes:
   0  success
   1  runtime failure (solver failure, failed campaign jobs, bad input file)
   2  usage error (unknown command, flag, or workload)
+  3  campaign finished but quarantined poison jobs (supervised mode)
 """
 
 
@@ -398,7 +400,12 @@ def _cmd_project(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import os
 
-    from repro.campaign import Campaign, CampaignSpec, merge_overrides
+    from repro.campaign import (
+        Campaign,
+        CampaignSpec,
+        SupervisorPolicy,
+        merge_overrides,
+    )
     from repro.harness import format_table
     from repro.obs.hooks import ObserverHub
 
@@ -407,19 +414,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     def on_start(name: str = "", total: int = 0, workers: int = 0, **_kw):
         progress["total"] = total
+        mode = "supervised" if _kw.get("supervised") else "pool"
         print(
             f"campaign {name}: {total} jobs, "
-            f"{workers or 'in-process'} workers",
+            f"{workers or 'in-process'} workers ({mode})",
             file=sys.stderr,
         )
 
     def on_job(job_id: str = "", status: str = "", **kw):
-        if status in ("cached", "done", "failed"):
+        if status in ("cached", "done", "failed", "quarantined"):
             progress["finished"] += 1
         line = (
             f"  [{progress['finished']}/{progress['total']}] "
             f"{job_id} {status}"
         )
+        if kw.get("attempt"):
+            line += f" (attempt {kw['attempt']})"
+        if kw.get("taxonomy"):
+            line += f" [{kw['taxonomy']}]"
         if kw.get("wall_s") is not None:
             line += f" ({kw['wall_s']:.2f}s)"
         if kw.get("error"):
@@ -429,6 +441,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     hub.subscribe("campaign_start", on_start)
     hub.subscribe("campaign_job", on_job)
 
+    policy = None
+    if args.supervised:
+        policy = SupervisorPolicy(
+            max_attempts=args.max_attempts,
+            job_timeout_s=args.job_timeout,
+            heartbeat_timeout_s=args.heartbeat,
+        )
+        policy.validate()
+
     try:
         store_dir = args.store or None
         if os.path.isdir(args.spec):
@@ -437,6 +458,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 hub=hub,
                 store_dir=store_dir,
+                policy=policy,
             )
         else:
             spec = CampaignSpec.from_dict(
@@ -453,6 +475,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 hub=hub,
                 store_dir=store_dir,
+                policy=policy,
             )
         summary = camp.run(max_jobs=args.max_jobs, dry_run=args.dry_run)
     except (RuntimeError, ValueError, OSError) as exc:
@@ -476,13 +499,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     else:
         counts = summary["status_counts"]
+        note = (
+            f"done {counts['done']}/{summary['total_jobs']}, "
+            f"failed {counts['failed']}, "
+            f"cache hits {summary['cache_hits']}, "
+            f"plan shared {summary['plan_shared']}"
+        )
+        if summary.get("supervised"):
+            note += (
+                f"; quarantined {counts.get('quarantined', 0)}, "
+                f"retries {summary.get('retries', 0)}, "
+                f"requeues {summary.get('requeues', 0)}"
+            )
         text = format_table(
             f"campaign: {summary['name']}",
-            ["job", "status", "cached", "wall [s]", "result"],
+            ["job", "status", "attempts", "cached", "wall [s]", "result"],
             [
                 [
                     digest[:12],
                     entry["status"],
+                    entry.get("attempts", "-"),
                     "yes" if entry.get("cached") else "no",
                     (
                         f"{entry['wall_s']:.2f}"
@@ -493,16 +529,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ]
                 for digest, entry in summary["jobs"].items()
             ],
-            note=(
-                f"done {counts['done']}/{summary['total_jobs']}, "
-                f"failed {counts['failed']}, "
-                f"cache hits {summary['cache_hits']}, "
-                f"plan shared {summary['plan_shared']}"
-            ),
+            note=note,
         )
     _deliver(args, text, "campaign summary")
     if summary.get("status_counts", {}).get("failed"):
         return 1
+    if summary.get("status_counts", {}).get("quarantined"):
+        # All non-poison jobs finished; quarantined entries carry their
+        # failure context in the manifest.
+        return 3
     return 0
 
 
@@ -691,6 +726,29 @@ def main(argv: list[str] | None = None) -> int:
         "--config", default="", metavar="FILE",
         help="extra SimulationConfig overrides deep-merged over the "
              "spec's base",
+    )
+    p_cp.add_argument(
+        "--supervised", action="store_true",
+        help="run jobs in supervised fault domains: taxonomy-classified "
+             "retry with backoff, lease/heartbeat hang detection, "
+             "poison-job quarantine (exit code 3 when any job is "
+             "quarantined); workers=0 behaves as one worker process",
+    )
+    p_cp.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="supervised: executions per job before quarantine "
+             "(default 3; transient failures only — deterministic "
+             "failures quarantine immediately)",
+    )
+    p_cp.add_argument(
+        "--job-timeout", type=float, default=0.0, metavar="SEC",
+        help="supervised: wall-clock budget per job attempt "
+             "(0 = unlimited)",
+    )
+    p_cp.add_argument(
+        "--heartbeat", type=float, default=0.0, metavar="SEC",
+        help="supervised: kill an attempt whose per-step heartbeat has "
+             "stalled this long (0 = disabled)",
     )
     _add_output_flags(p_cp, ["table", "json"], "table")
     _add_list_flag(p_cp)

@@ -36,7 +36,7 @@ def add_analyze_parser(sub: argparse._SubParsersAction) -> None:
         "analyze",
         help="static (repro-lint) + dynamic (sanitizer) analysis",
         description=(
-            "Run the RL001-RL009 lint + protocol rules over the given "
+            "Run the RL001-RL010 lint + protocol rules over the given "
             "paths and the KS001-KS005 permuted-thread determinism "
             "checks over the assembly kernels.  Rules: "
             + "; ".join(f"{k}: {v}" for k, v in sorted(RULES.items()))

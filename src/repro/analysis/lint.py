@@ -57,6 +57,14 @@ RL008   collective consistency (:mod:`.protocol`): a collective
         reachable under a rank-dependent branch — deadlock risk.
 RL009   reduction contracts (:mod:`.protocol`): ``@reduction_contract``
         declarations vs statically counted reduction sites.
+RL010   swallowed campaign failure: a broad ``except`` (bare,
+        ``Exception``, or ``BaseException``) inside the ``campaign``
+        package that neither re-raises nor routes the exception through
+        the resilience taxonomy (``classify_failure`` /
+        ``failure_context`` / a ``record_*`` helper).  The supervised
+        runner's retry/quarantine decisions are keyed on taxonomy
+        classes, so an except-and-continue that drops the exception
+        silently erases a failure from the fault-domain bookkeeping.
 ======  ==================================================================
 """
 
@@ -89,6 +97,10 @@ RULES: dict[str, str] = {
     "RL009": (
         "declared @reduction_contract disagrees with the statically "
         "counted reduction sites"
+    ),
+    "RL010": (
+        "broad except in campaign code swallows the failure without "
+        "recording a taxonomy class"
     ),
 }
 
@@ -162,6 +174,45 @@ def _has_keyword(call: ast.Call, name: str) -> bool:
     return any(kw.arg == name for kw in call.keywords)
 
 
+#: Calls that count as routing a swallowed exception into the failure
+#: taxonomy (RL010): the classifier itself, the supervisor's context
+#: builder, and ``record_*`` bookkeeping helpers.
+_RL010_TAXONOMY_CALLS = frozenset({"classify_failure", "failure_context"})
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception``, ``except BaseException``
+    (alone or inside a tuple)."""
+    if handler.type is None:
+        return True
+    elems = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for elem in elems:
+        name = _terminal_name(elem) if isinstance(
+            elem, (ast.Name, ast.Attribute)
+        ) else None
+        if name in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _handler_records_taxonomy(handler: ast.ExceptHandler) -> bool:
+    """True when a handler re-raises or routes through the taxonomy."""
+    for sub in ast.walk(handler):
+        if isinstance(sub, ast.Raise):
+            return True
+        if isinstance(sub, ast.Call):
+            name = _terminal_name(sub.func)
+            if name in _RL010_TAXONOMY_CALLS or (
+                name is not None and name.startswith("record_")
+            ):
+                return True
+    return False
+
+
 def _path_parts(path: str) -> tuple[str, ...]:
     return tuple(os.path.normpath(path).split(os.sep))
 
@@ -173,6 +224,10 @@ def _in_kernel_packages(path: str) -> bool:
 
 def _in_smoothers_package(path: str) -> bool:
     return "smoothers" in _path_parts(path)[:-1]
+
+
+def _in_campaign_package(path: str) -> bool:
+    return "campaign" in _path_parts(path)[:-1]
 
 
 def _is_simworld_module(path: str) -> bool:
@@ -232,7 +287,7 @@ class _FunctionInfo:
 
 
 class _Linter(ast.NodeVisitor):
-    """Single-pass AST walk collecting all six rules' raw findings."""
+    """Single-pass AST walk collecting the syntactic rules' findings."""
 
     def __init__(self, path: str, source: str) -> None:
         self.path = path
@@ -241,6 +296,7 @@ class _Linter(ast.NodeVisitor):
         self.smoother_classes = _smoother_class_names()
         self.kernel_scope = _in_kernel_packages(path)
         self.smoothers_scope = _in_smoothers_package(path)
+        self.campaign_scope = _in_campaign_package(path)
         self.simworld_module = _is_simworld_module(path)
         # Function-context stacks for qualnames and RL005 bookkeeping.
         self._scope: list[str] = []
@@ -315,6 +371,26 @@ class _Linter(ast.NodeVisitor):
                 self.registry_targets.setdefault(
                     target.value.id, set()
                 ).add(node.value.id)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        # RL010 — swallowed failures in campaign code.  Broad catches in
+        # the fault-domain layer must either re-raise or record what
+        # they caught through the resilience taxonomy; anything else
+        # silently erases a failure the supervisor's retry/quarantine
+        # machinery should have routed.
+        if (
+            self.campaign_scope
+            and _catches_broadly(node)
+            and not _handler_records_taxonomy(node)
+        ):
+            self._emit(
+                "RL010",
+                node,
+                "broad except swallows the failure without recording a "
+                "taxonomy class: re-raise or route through "
+                "classify_failure/failure_context (or a record_* helper)",
+            )
         self.generic_visit(node)
 
     def visit_Subscript(self, node: ast.Subscript) -> None:

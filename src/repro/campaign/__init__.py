@@ -1,7 +1,9 @@
 """Campaign service: async job queue, worker pool, result cache.
 
-See ``docs/campaign.md`` for the job model, manifest schema, and cache
-semantics.  The CLI entry point is ``python -m repro campaign``.
+See ``docs/campaign.md`` for the job model, manifest schema, cache
+semantics, and the supervised execution mode (job-level fault domains:
+retry/backoff, leases + heartbeats, quarantine, failure breaker).  The
+CLI entry point is ``python -m repro campaign``.
 """
 
 from repro.campaign.job import (
@@ -21,19 +23,37 @@ from repro.campaign.manifest import (
 )
 from repro.campaign.runner import Campaign
 from repro.campaign.store import ResultStore
+from repro.campaign.supervisor import (
+    FailureBreaker,
+    Supervisor,
+    SupervisorPolicy,
+    failure_context,
+    lease_is_live,
+    read_lease,
+    release_lease,
+    write_lease,
+)
 
 __all__ = [
     "Campaign",
     "CampaignManifest",
     "CampaignSpec",
+    "FailureBreaker",
     "JobSpec",
     "MANIFEST_FORMAT",
     "ManifestError",
     "RESULT_FORMAT",
     "ResultStore",
     "SPEC_FORMAT",
+    "Supervisor",
+    "SupervisorPolicy",
     "canonical_result",
+    "failure_context",
     "field_digest",
+    "lease_is_live",
     "merge_overrides",
+    "read_lease",
+    "release_lease",
     "set_path",
+    "write_lease",
 ]

@@ -24,8 +24,12 @@ from repro.campaign.job import CampaignSpec, JobSpec
 #: Format tag of the manifest document.
 MANIFEST_FORMAT = "repro.campaign/1"
 
-#: Allowed job states.
-JOB_STATUSES = ("pending", "running", "done", "failed")
+#: Allowed job states.  ``quarantined`` is the supervised runner's
+#: poison-job terminal state: the job exhausted its retry budget (or
+#: failed deterministically) and is skipped by later resumes; its entry
+#: keeps the full failure context (taxonomy, exception type, truncated
+#: traceback, per-attempt history) for post-mortems.
+JOB_STATUSES = ("pending", "running", "done", "failed", "quarantined")
 
 
 class ManifestError(RuntimeError):

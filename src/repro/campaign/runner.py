@@ -21,6 +21,13 @@ enables checkpointing.
 Job results are deterministic (see ``canonical_result``), so a 2-worker
 sweep produces byte-identical stored documents to a serial one —
 ``benchmarks/check_campaign_determinism.py`` gates exactly that.
+
+Passing a :class:`~repro.campaign.supervisor.SupervisorPolicy` switches
+execution to the supervised path (:class:`~repro.campaign.supervisor
+.Supervisor`): long-lived worker processes with job leases, heartbeat
+hang detection, taxonomy-classified retry with backoff, poison-job
+quarantine, and a failure-rate breaker.  The job-execution core lives in
+:mod:`repro.campaign.supervisor` and is shared by both paths.
 """
 
 from __future__ import annotations
@@ -32,99 +39,28 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
 from repro.assembly.plan import PlanCache
-from repro.campaign.job import CampaignSpec, JobSpec, canonical_result
+from repro.campaign import supervisor as _sup
+from repro.campaign.job import CampaignSpec, JobSpec
 from repro.campaign.manifest import CampaignManifest
 from repro.campaign.store import ResultStore
+from repro.campaign.supervisor import (
+    Supervisor,
+    SupervisorPolicy,
+    execute_job_payload,
+    lease_is_live,
+    new_nonce,
+    read_lease,
+    release_lease,
+    write_lease,
+)
 from repro.obs.hooks import ObserverHub
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience.injection import FaultInjector
 
-#: Per-worker-process plan cache (long-lived across that worker's jobs).
-_PLAN_CACHE: PlanCache | None = None
-
-
-def _worker_plan_cache() -> PlanCache:
-    global _PLAN_CACHE
-    if _PLAN_CACHE is None:
-        _PLAN_CACHE = PlanCache()
-    return _PLAN_CACHE
-
-
-def _init_worker() -> None:
-    """Pool initializer: start each worker with a fresh plan cache.
-
-    Under the fork start method a child would otherwise inherit whatever
-    cache the coordinating process had populated (e.g. from an earlier
-    in-process campaign), muddying the setup-sharing accounting.
-    """
-    global _PLAN_CACHE
-    _PLAN_CACHE = PlanCache()
-
-
-def _ring_has_checkpoints(path: str) -> bool:
-    """Whether a checkpoint directory holds any ring entries."""
-    try:
-        return any(
-            name.startswith("ckpt-") and name.endswith(".ckpt")
-            for name in os.listdir(path)
-        )
-    except OSError:
-        return False
-
-
-def _execute_job(payload: dict) -> dict:
-    """Run one job to completion (module-level: picklable for the pool).
-
-    The payload and the returned document are plain JSON-shaped dicts so
-    they cross the process boundary untouched.  Failures are reported in
-    the return value (never raised) so one bad job cannot poison the
-    pool.
-    """
-    from repro.core.simulation import NaluWindSimulation
-    from repro.resilience.checkpoint import CheckpointError
-
-    start = time.perf_counter()
-    try:
-        job = JobSpec.from_dict(payload["job"])
-        config = job.build_config()
-        ckpt_dir = payload.get("checkpoint_dir", "")
-        if payload.get("checkpoint_every", 0) and ckpt_dir:
-            config.checkpoint_every = int(payload["checkpoint_every"])
-            config.checkpoint_keep = int(payload.get("checkpoint_keep", 2))
-            config.checkpoint_dir = ckpt_dir
-        resumed = False
-        if (
-            payload.get("try_resume", False)
-            and ckpt_dir
-            and _ring_has_checkpoints(ckpt_dir)
-        ):
-            config.restart_from = ckpt_dir
-            resumed = True
-        try:
-            sim = NaluWindSimulation(job.workload, config)
-        except CheckpointError:
-            # Ring unusable (all entries corrupt): run fresh instead.
-            config.restart_from = ""
-            resumed = False
-            sim = NaluWindSimulation(job.workload, config)
-        if payload.get("share_setup", True):
-            sim.world.plan_cache = _worker_plan_cache()
-        report = sim.run(job.steps)
-        doc = canonical_result(sim, report, job)
-        return {
-            "ok": True,
-            "doc": doc,
-            "resumed": resumed,
-            "wall_s": time.perf_counter() - start,
-            "plan_shared": float(
-                sim.world.metrics.counter_total("assembly.plan_shared")
-            ),
-        }
-    except Exception as exc:  # noqa: BLE001 - reported to the coordinator
-        return {
-            "ok": False,
-            "error": f"{type(exc).__name__}: {exc}",
-            "wall_s": time.perf_counter() - start,
-        }
+#: Pool-picklable aliases — the execution core moved to the supervisor
+#: module; the ``ProcessPoolExecutor`` path submits these by reference.
+_execute_job = execute_job_payload
+_init_worker = _sup._init_worker
 
 
 class Campaign:
@@ -141,6 +77,15 @@ class Campaign:
             Pointing several campaigns at one store lets them share
             results: a job identical to one any prior campaign completed
             is served from the store instead of re-running.
+        policy: when set, jobs run under the
+            :class:`~repro.campaign.supervisor.Supervisor` (fault
+            domains, retry/backoff, hang detection, quarantine) instead
+            of the plain pool.  Supervised execution always uses worker
+            processes (fault isolation needs a separate process), so
+            ``workers=0`` behaves as one worker.
+        chaos: optional seeded fault injector driving process-level
+            chaos (``worker_crash``/``worker_hang`` specs and store
+            ``io_fail`` windows) for the chaos gate and tests.
     """
 
     def __init__(
@@ -151,6 +96,8 @@ class Campaign:
         hub: ObserverHub | None = None,
         metrics: MetricsRegistry | None = None,
         store_dir: str | None = None,
+        policy: SupervisorPolicy | None = None,
+        chaos: FaultInjector | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -159,8 +106,12 @@ class Campaign:
         self.workers = workers
         self.hub = hub or ObserverHub()
         self.metrics = metrics or MetricsRegistry()
+        self.policy = policy
+        self.chaos = chaos
         self.jobs = spec.expand()
-        self.store = ResultStore(store_dir or os.path.join(root, "store"))
+        self.store = ResultStore(
+            store_dir or os.path.join(root, "store"), injector=chaos
+        )
         self.manifest = CampaignManifest(root, spec)
         if os.path.exists(self.manifest.path):
             self.manifest = CampaignManifest.load(root)
@@ -176,6 +127,8 @@ class Campaign:
         hub: ObserverHub | None = None,
         metrics: MetricsRegistry | None = None,
         store_dir: str | None = None,
+        policy: SupervisorPolicy | None = None,
+        chaos: FaultInjector | None = None,
     ) -> "Campaign":
         """Re-open an existing campaign directory from its manifest."""
         manifest = CampaignManifest.load(root)
@@ -186,6 +139,8 @@ class Campaign:
             hub=hub,
             metrics=metrics,
             store_dir=store_dir,
+            policy=policy,
+            chaos=chaos,
         )
 
     # -- helpers -------------------------------------------------------------
@@ -261,8 +216,12 @@ class Campaign:
             name=self.spec.name,
             total=len(self.jobs),
             workers=self.workers,
+            supervised=self.policy is not None,
         )
-        asyncio.run(self._drain(max_jobs))
+        if self.policy is not None:
+            Supervisor(self, self.policy, chaos=self.chaos).run(max_jobs)
+        else:
+            asyncio.run(self._drain(max_jobs))
         counts = self.manifest.status_counts()
         m = self.metrics
         summary = {
@@ -270,6 +229,7 @@ class Campaign:
             "name": self.spec.name,
             "root": self.root,
             "workers": self.workers,
+            "supervised": self.policy is not None,
             "total_jobs": len(self.jobs),
             "status_counts": counts,
             "cache_hits": int(m.counter_total("campaign.cache_hits")),
@@ -277,6 +237,12 @@ class Campaign:
             "jobs_run": int(m.counter_total("campaign.jobs_run")),
             "jobs_failed": int(m.counter_total("campaign.jobs_failed")),
             "jobs_resumed": int(m.counter_total("campaign.jobs_resumed")),
+            "retries": int(m.counter_total("campaign.retries")),
+            "requeues": int(m.counter_total("campaign.requeues")),
+            "quarantined": int(m.counter_total("campaign.quarantined")),
+            "lease_expired": int(m.counter_total("campaign.lease_expired")),
+            "breaker_trips": int(m.counter_total("campaign.breaker_trips")),
+            "store_retries": int(m.counter_total("campaign.store_retries")),
             "plan_shared": int(m.counter_total("assembly.plan_shared")),
             "wall_s": time.perf_counter() - start,
             "jobs": {
@@ -284,9 +250,21 @@ class Campaign:
                     "status": entry["status"],
                     **{
                         k: entry[k]
-                        for k in ("result", "error", "cached", "wall_s")
+                        for k in (
+                            "result",
+                            "error",
+                            "error_type",
+                            "taxonomy",
+                            "cached",
+                            "wall_s",
+                        )
                         if k in entry
                     },
+                    **(
+                        {"attempts": len(entry["attempts"])}
+                        if entry.get("attempts")
+                        else {}
+                    ),
                 }
                 for digest, entry in sorted(self.manifest.jobs.items())
             },
@@ -300,9 +278,34 @@ class Campaign:
         for job in self.jobs:
             digest = job.digest()
             entry = self.manifest.jobs[digest]
-            if entry["status"] == "done":
+            if entry["status"] in ("done", "quarantined"):
                 continue
             was_running = entry["status"] == "running"
+            if was_running:
+                # A ``running`` entry is ambiguous: the previous
+                # coordinator may have died — or may still be live.
+                # Its lease disambiguates; only a stale lease (dead
+                # owner) is taken over.
+                lease = read_lease(self._job_dir(job))
+                if lease_is_live(lease):
+                    self._emit(
+                        "campaign_job",
+                        job_id=job.job_id,
+                        digest=digest,
+                        status="leased",
+                        pid=lease["pid"],
+                    )
+                    continue
+                if lease is not None:
+                    self.metrics.counter("campaign.lease_expired").inc()
+                    self._emit(
+                        "lease_takeover",
+                        job_id=job.job_id,
+                        digest=digest,
+                        pid=lease.get("pid"),
+                        nonce=lease.get("nonce"),
+                    )
+                    release_lease(self._job_dir(job))
             queue.put_nowait((job, digest, was_running))
         loop = asyncio.get_running_loop()
         pool: ProcessPoolExecutor | None = None
@@ -364,7 +367,11 @@ class Campaign:
             )
             return
         budget["left"] -= 1
-        self.manifest.mark(digest, "running")
+        nonce = new_nonce()
+        write_lease(self._job_dir(job), nonce)
+        self.manifest.mark(
+            digest, "running", lease={"pid": os.getpid(), "nonce": nonce}
+        )
         self._emit(
             "campaign_job",
             job_id=job.job_id,
@@ -376,19 +383,32 @@ class Campaign:
         if pool is None:
             # In-process serial mode: share one plan cache directly.
             if self.spec.share_setup:
-                global _PLAN_CACHE
-                _PLAN_CACHE = self._plan_cache
+                _sup._PLAN_CACHE = self._plan_cache
             outcome = _execute_job(payload)
         else:
             outcome = await loop.run_in_executor(
                 pool, _execute_job, payload
             )
+        release_lease(self._job_dir(job))
         if not outcome.get("ok"):
             self.metrics.counter("campaign.jobs_failed").inc()
             self.manifest.mark(
                 digest,
                 "failed",
                 error=outcome.get("error", "unknown"),
+                error_type=outcome.get("error_type", ""),
+                taxonomy=outcome.get("taxonomy", ""),
+                traceback=outcome.get("traceback", ""),
+                attempts=[
+                    {
+                        "attempt": 0,
+                        "taxonomy": outcome.get("taxonomy", ""),
+                        "error_type": outcome.get("error_type", ""),
+                        "error": outcome.get("error", "unknown"),
+                        "traceback": outcome.get("traceback", ""),
+                        "wall_s": outcome.get("wall_s"),
+                    }
+                ],
                 wall_s=outcome.get("wall_s"),
             )
             self._emit(
@@ -397,6 +417,7 @@ class Campaign:
                 digest=digest,
                 status="failed",
                 error=outcome.get("error", "unknown"),
+                taxonomy=outcome.get("taxonomy", ""),
             )
             return
         self.metrics.counter("campaign.jobs_run").inc()

@@ -22,10 +22,18 @@ from repro.serialize import canonical_json
 
 
 class ResultStore:
-    """Directory-backed map from job digest to canonical result doc."""
+    """Directory-backed map from job digest to canonical result doc.
 
-    def __init__(self, root: str) -> None:
+    ``injector`` (a :class:`~repro.resilience.injection.FaultInjector`)
+    arms deterministic write faults: each :meth:`put` consults the
+    injector's ``io_fail`` windows at site ``"store_put"`` before
+    touching the filesystem, so chaos runs can exercise the supervised
+    runner's store-retry path without a real flaky disk.
+    """
+
+    def __init__(self, root: str, injector=None) -> None:
         self.root = root
+        self.injector = injector
         os.makedirs(root, exist_ok=True)
 
     def path(self, digest: str) -> str:
@@ -67,6 +75,10 @@ class ResultStore:
         on disk.
         """
         path = self.path(digest)
+        if self.injector is not None and self.injector.on_io(
+            "store_put", path
+        ):
+            raise OSError(f"injected store write fault: {path}")
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(canonical_json(doc))

@@ -1,0 +1,969 @@
+"""Supervised campaign execution: a fault domain around every job.
+
+At exascale, node mean-time-between-failures makes job death the steady
+state of a thousand-job sweep, not the exception — the campaign layer
+itself has to degrade gracefully.  This module wraps each job attempt in
+a *fault domain* supervised from outside the worker process:
+
+* **Retry with exponential backoff, classified by taxonomy** — a failed
+  attempt is classified through the resilience taxonomy
+  (:func:`~repro.resilience.guards.classify_failure`); transient kinds
+  (``comm_retries_exhausted``, ``io_error``, ``worker_crash``,
+  ``worker_hang``, ``job_timeout``, ...) are retried with
+  deterministic exponential backoff, while deterministic failures
+  (solver divergence, non-finite iterates) are not — re-running them
+  replays the identical failure.
+* **Leases + heartbeats** — a worker *leases* its job (a per-job
+  ``lease.json`` with pid, nonce, and a monotonic beat counter bumped
+  on every completed simulation step).  The supervisor polls leases:
+  a beat that stops advancing past ``heartbeat_timeout_s`` (a hung
+  solve) or an attempt overrunning ``job_timeout_s`` gets its worker
+  SIGKILLed, reaped, and the job requeued — from the job's checkpoint
+  ring when one exists.
+* **Crash-proof workers** — workers are long-lived processes; one that
+  dies (``worker_crash``) or is killed is replaced, so the pool heals
+  itself instead of shrinking to zero.
+* **Poison-job quarantine** — a job that exhausts ``max_attempts``
+  is marked ``quarantined`` in the manifest with its full failure
+  context (taxonomy, exception type, truncated traceback, per-attempt
+  history); the sweep continues and the CLI exit code distinguishes
+  "all done" (0), "done with quarantined" (3), and supervisor failure
+  (1).
+* **Failure-storm breaker** — a rolling failure-rate window that
+  halves the number of concurrently dispatched jobs when failures
+  cluster (``campaign.breaker_trips``), restoring capacity after a
+  cooldown of consecutive successes, instead of letting a sick
+  filesystem take the whole sweep down with it.
+
+Everything is observable: counters ``campaign.retries`` /
+``requeues`` / ``quarantined`` / ``lease_expired`` / ``breaker_trips``
+/ ``store_retries`` and hub events ``job_retry`` / ``job_quarantined``
+/ ``lease_takeover`` / ``breaker_trip``.  Chaos is injected through
+process-level :class:`~repro.resilience.injection.FaultSpec` kinds
+(``worker_crash``/``worker_hang``/store ``io_fail``) keyed on
+``(job, attempt)``, so ``benchmarks/check_campaign_chaos.py`` can pin
+the exact counter contract of a seeded fault storm.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.resilience.guards import TRANSIENT_FAILURE_KINDS, classify_failure
+from repro.resilience.injection import FaultInjector
+
+#: Exit code a worker uses for an injected hard crash (``os._exit``).
+CRASH_EXIT_CODE = 86
+
+#: Manifest/lease filename inside each job directory.
+LEASE_FILENAME = "lease.json"
+
+#: Truncation bound for persisted tracebacks (manifest post-mortems).
+TRACEBACK_LIMIT = 2000
+
+_NONCE_COUNTER = iter(range(1, 1 << 62))
+
+
+def new_nonce() -> str:
+    """A lease nonce unique within and across coordinator processes."""
+    return f"{os.getpid()}-{next(_NONCE_COUNTER)}"
+
+
+def failure_context(exc: BaseException) -> dict[str, Any]:
+    """The taxonomy-classified failure record of one caught exception.
+
+    Every broad ``except`` in the campaign layer must route what it
+    swallows through this helper (or re-raise): the returned dict
+    carries the resilience taxonomy class, the exception type, and a
+    truncated traceback, and is what the manifest persists for
+    post-mortems (lint rule RL010 enforces the convention statically).
+    """
+    tb = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return {
+        "ok": False,
+        "error": f"{type(exc).__name__}: {exc}",
+        "error_type": type(exc).__name__,
+        "taxonomy": classify_failure(exc),
+        "traceback": tb[-TRACEBACK_LIMIT:],
+    }
+
+
+# -- policy -------------------------------------------------------------------
+
+
+@dataclass
+class SupervisorPolicy:
+    """Supervised-execution knobs (``Campaign(policy=...)``).
+
+    Attributes:
+        max_attempts: executions allowed per job before quarantine
+            (1 = never retry).
+        job_timeout_s: wall-clock budget per attempt; 0 disables.
+        heartbeat_timeout_s: kill an attempt whose lease beat has not
+            advanced for this long (hang detection); 0 disables.
+        poll_s: supervisor poll interval.
+        backoff_base_s: first retry delay; attempt ``k`` waits
+            ``min(backoff_base_s * backoff_factor**k, backoff_max_s)``
+            (deterministic — chaos replays must be bit-stable).
+        backoff_factor: exponential backoff multiplier.
+        backoff_max_s: backoff cap.
+        breaker_window: rolling attempt-outcome window length.
+        breaker_min_events: outcomes required before the breaker may
+            trip.
+        breaker_threshold: failure fraction in the window that trips
+            the breaker (halving dispatch concurrency, floor 1).
+        breaker_cooldown: consecutive successes that restore one
+            halving step.
+        store_io_retries: result-store write retries (with backoff)
+            before the attempt is classified ``io_error``.
+    """
+
+    max_attempts: int = 3
+    job_timeout_s: float = 0.0
+    heartbeat_timeout_s: float = 0.0
+    poll_s: float = 0.02
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    breaker_window: int = 8
+    breaker_min_events: int = 4
+    breaker_threshold: float = 0.5
+    breaker_cooldown: int = 3
+    store_io_retries: int = 3
+
+    def validate(self) -> None:
+        """Raise on inconsistent settings."""
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.poll_s <= 0:
+            raise ValueError("poll_s must be > 0")
+        if self.job_timeout_s < 0 or self.heartbeat_timeout_s < 0:
+            raise ValueError("timeouts must be >= 0 (0 disables)")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not (0.0 < self.breaker_threshold <= 1.0):
+            raise ValueError("breaker_threshold must be in (0, 1]")
+        if self.breaker_window < 1 or self.breaker_min_events < 1:
+            raise ValueError("breaker window/min_events must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise ValueError("breaker_cooldown must be >= 1")
+        if self.store_io_retries < 0:
+            raise ValueError("store_io_retries must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """Deterministic delay before re-dispatching attempt ``attempt``."""
+        return min(
+            self.backoff_base_s * self.backoff_factor**attempt,
+            self.backoff_max_s,
+        )
+
+
+# -- leases -------------------------------------------------------------------
+
+
+def lease_path(job_dir: str) -> str:
+    """The lease file of one job directory."""
+    return os.path.join(job_dir, LEASE_FILENAME)
+
+
+def write_lease(job_dir: str, nonce: str, beat: int = 0) -> None:
+    """Atomically (tmp + ``os.replace``) write this process's lease."""
+    os.makedirs(job_dir, exist_ok=True)
+    path = lease_path(job_dir)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "pid": os.getpid(),
+                "nonce": nonce,
+                "beat": int(beat),
+                "stamp": time.time(),
+            },
+            fh,
+        )
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def read_lease(job_dir: str) -> dict[str, Any] | None:
+    """The job's lease record, or None when absent/torn."""
+    try:
+        with open(lease_path(job_dir), encoding="utf-8") as fh:
+            lease = json.load(fh)
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+    if not isinstance(lease, dict) or "pid" not in lease:
+        return None
+    return lease
+
+
+def release_lease(job_dir: str) -> None:
+    """Remove the job's lease file (idempotent)."""
+    try:
+        os.unlink(lease_path(job_dir))
+    except OSError:
+        pass
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether a pid currently names a live process."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def lease_is_live(lease: dict[str, Any] | None) -> bool:
+    """Whether a lease belongs to a currently running owner.
+
+    Liveness across coordinator invocations is pid-based: the lease
+    holder's process must still exist.  (Within a run, hang detection
+    uses beat *progress*, which needs no cross-process clock.)
+    """
+    return lease is not None and pid_alive(int(lease.get("pid", -1)))
+
+
+# -- worker-side execution ----------------------------------------------------
+
+#: Per-worker-process plan cache (long-lived across that worker's jobs).
+_PLAN_CACHE = None
+
+
+def _worker_plan_cache():
+    from repro.assembly.plan import PlanCache
+
+    global _PLAN_CACHE
+    if _PLAN_CACHE is None:
+        _PLAN_CACHE = PlanCache()
+    return _PLAN_CACHE
+
+
+def _init_worker() -> None:
+    """Start a worker process with a fresh plan cache.
+
+    Under the fork start method a child would otherwise inherit whatever
+    cache the coordinating process had populated (e.g. from an earlier
+    in-process campaign), muddying the setup-sharing accounting.
+    """
+    from repro.assembly.plan import PlanCache
+
+    global _PLAN_CACHE
+    _PLAN_CACHE = PlanCache()
+
+
+def _ring_has_checkpoints(path: str) -> bool:
+    """Whether a checkpoint directory holds any ring entries."""
+    try:
+        return any(
+            name.startswith("ckpt-") and name.endswith(".ckpt")
+            for name in os.listdir(path)
+        )
+    except OSError:
+        return False
+
+
+def execute_job_payload(
+    payload: dict, on_sim: Callable[[Any], None] | None = None
+) -> dict:
+    """Run one job to completion (module-level: picklable for pools).
+
+    The payload and the returned document are plain JSON-shaped dicts so
+    they cross the process boundary untouched.  Failures are reported in
+    the return value — never raised — with their full
+    :func:`failure_context` (taxonomy class, exception type, truncated
+    traceback), so one bad job cannot poison the pool and post-mortems
+    never require a rerun.
+
+    ``on_sim`` (supervised workers) is invoked with the constructed
+    simulation before it runs, to attach heartbeat/chaos hooks.
+    """
+    from repro.core.simulation import NaluWindSimulation
+    from repro.resilience.checkpoint import CheckpointError
+
+    from repro.campaign.job import JobSpec, canonical_result
+
+    start = time.perf_counter()
+    try:
+        job = JobSpec.from_dict(payload["job"])
+        config = job.build_config()
+        ckpt_dir = payload.get("checkpoint_dir", "")
+        if payload.get("checkpoint_every", 0) and ckpt_dir:
+            config.checkpoint_every = int(payload["checkpoint_every"])
+            config.checkpoint_keep = int(payload.get("checkpoint_keep", 2))
+            config.checkpoint_dir = ckpt_dir
+        resumed = False
+        if (
+            payload.get("try_resume", False)
+            and ckpt_dir
+            and _ring_has_checkpoints(ckpt_dir)
+        ):
+            config.restart_from = ckpt_dir
+            resumed = True
+        try:
+            sim = NaluWindSimulation(job.workload, config)
+        except CheckpointError:
+            # Ring unusable (all entries corrupt): run fresh instead.
+            config.restart_from = ""
+            resumed = False
+            sim = NaluWindSimulation(job.workload, config)
+        if payload.get("share_setup", True):
+            sim.world.plan_cache = _worker_plan_cache()
+        if on_sim is not None:
+            on_sim(sim)
+        report = sim.run(job.steps)
+        doc = canonical_result(sim, report, job)
+        return {
+            "ok": True,
+            "doc": doc,
+            "resumed": resumed,
+            "wall_s": time.perf_counter() - start,
+            "plan_shared": float(
+                sim.world.metrics.counter_total("assembly.plan_shared")
+            ),
+        }
+    except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+        return {
+            **failure_context(exc),
+            "wall_s": time.perf_counter() - start,
+        }
+
+
+def _outcome_path(job_dir: str, attempt: int) -> str:
+    return os.path.join(job_dir, f"outcome-{attempt:03d}.json")
+
+
+def _write_outcome(path: str, outcome: dict) -> None:
+    """Atomically persist a worker outcome document."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(outcome, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _stall_forever() -> None:  # pragma: no cover - killed by supervisor
+    while True:
+        time.sleep(0.05)
+
+
+def _install_ckpt_tripwire(kind: str) -> None:
+    """Arm a mid-checkpoint-write fault: die (or stall) between the
+    checkpoint tmp write and its atomic ``os.replace`` — the torn-write
+    instant a real node death would hit."""
+    real_replace = os.replace
+
+    def tripwire(src: str, dst: str) -> None:
+        if os.path.basename(str(dst)).startswith("ckpt-"):
+            if kind == "worker_crash":
+                os._exit(CRASH_EXIT_CODE)
+            _stall_forever()
+        real_replace(src, dst)
+
+    os.replace = tripwire
+
+
+def _run_attempt(payload: dict) -> None:
+    """Execute one supervised job attempt inside a worker process.
+
+    Acquires the job lease, beats it on every completed step, honours
+    any injected process fault at its configured point, and atomically
+    writes the outcome document the supervisor polls for.
+    """
+    job_dir = payload["job_dir"]
+    nonce = payload["nonce"]
+    attempt = int(payload["attempt"])
+    fault = payload.get("fault") or {}
+    kind, point = fault.get("kind", ""), fault.get("point", "")
+
+    def trip(here: str) -> None:
+        if kind and point == here:
+            if kind == "worker_crash":
+                os._exit(CRASH_EXIT_CODE)
+            _stall_forever()
+
+    trip("spawn")
+    beat = {"n": 0}
+    write_lease(job_dir, nonce, beat["n"])
+    trip("lease")
+    if point == "ckpt" and kind:
+        _install_ckpt_tripwire(kind)
+
+    def on_sim(sim) -> None:
+        def on_step(**_kw) -> None:
+            beat["n"] += 1
+            write_lease(job_dir, nonce, beat["n"])
+
+        sim.world.hub.subscribe("step_complete", on_step)
+        if point == "run" and kind:
+            sim.world.hub.subscribe("checkpoint", lambda **_kw: trip("run"))
+
+    outcome = execute_job_payload(payload, on_sim=on_sim)
+    trip("store")
+    _write_outcome(_outcome_path(job_dir, attempt), outcome)
+    release_lease(job_dir)
+
+
+def _worker_main(task_q) -> None:
+    """Long-lived worker loop: lease, execute, report, repeat."""
+    _init_worker()
+    while True:
+        payload = task_q.get()
+        if payload is None:
+            return
+        try:
+            _run_attempt(payload)
+        except Exception as exc:  # noqa: BLE001 - worker must survive
+            # Even a broken attempt reports a classified outcome
+            # (failure_context) instead of killing the worker loop.
+            try:
+                _write_outcome(
+                    _outcome_path(
+                        payload["job_dir"], int(payload["attempt"])
+                    ),
+                    {**failure_context(exc), "wall_s": 0.0},
+                )
+                release_lease(payload["job_dir"])
+            except OSError:
+                # Outcome unreportable (job dir gone): the supervisor's
+                # hang/timeout detection reaps this attempt instead; the
+                # taxonomy is recorded there as worker_hang/job_timeout.
+                pass
+
+
+# -- failure-storm breaker ----------------------------------------------------
+
+
+class FailureBreaker:
+    """Rolling failure-rate breaker throttling dispatch concurrency.
+
+    Records per-attempt outcomes; when the failure fraction over the
+    last ``window`` outcomes reaches ``threshold`` (with at least
+    ``min_events`` observed), the allowed concurrency halves (floor 1)
+    and the window resets.  Each run of ``cooldown`` consecutive
+    successes restores one halving step.  Trips are counted by the
+    caller via the returned signal — the breaker itself is plain logic,
+    unit-testable without processes.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        window: int = 8,
+        min_events: int = 4,
+        threshold: float = 0.5,
+        cooldown: int = 3,
+    ) -> None:
+        self.capacity = max(1, capacity)
+        self.window = window
+        self.min_events = min_events
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.allowed = self.capacity
+        self._outcomes: list[bool] = []
+        self._success_streak = 0
+        self.trips = 0
+
+    def record(self, ok: bool) -> bool:
+        """Fold one attempt outcome in; True when the breaker trips."""
+        self._outcomes.append(ok)
+        if len(self._outcomes) > self.window:
+            self._outcomes.pop(0)
+        if ok:
+            self._success_streak += 1
+            if (
+                self._success_streak >= self.cooldown
+                and self.allowed < self.capacity
+            ):
+                self.allowed = min(self.capacity, self.allowed * 2)
+                self._success_streak = 0
+            return False
+        self._success_streak = 0
+        failures = sum(1 for o in self._outcomes if not o)
+        if (
+            len(self._outcomes) >= self.min_events
+            and failures / len(self._outcomes) >= self.threshold
+            and self.allowed > 1
+        ):
+            self.allowed = max(1, self.allowed // 2)
+            self._outcomes.clear()
+            self.trips += 1
+            return True
+        return False
+
+
+# -- the supervisor -----------------------------------------------------------
+
+
+class _WorkerHandle:
+    """One supervised worker process and its in-flight attempt state."""
+
+    def __init__(self, ctx, index: int) -> None:
+        self.index = index
+        self.task_q = ctx.SimpleQueue()
+        self.proc = ctx.Process(
+            target=_worker_main, args=(self.task_q,), daemon=True
+        )
+        self.proc.start()
+        self.job = None  # (JobSpec, digest, attempt, dispatched_at)
+        self.job_dir = ""
+        self.last_beat = -1
+        self.last_beat_change = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.job is not None
+
+
+class Supervisor:
+    """Drives one campaign run with job-level fault domains.
+
+    Owns the worker pool, the retry/quarantine state machine, hang
+    detection, and the failure breaker; mutates the campaign's manifest
+    and metrics exactly like the unsupervised runner so summaries stay
+    uniform.
+    """
+
+    def __init__(
+        self,
+        campaign,
+        policy: SupervisorPolicy,
+        chaos: FaultInjector | None = None,
+    ) -> None:
+        policy.validate()
+        self.campaign = campaign
+        self.policy = policy
+        self.chaos = chaos
+        self.metrics = campaign.metrics
+        self.hub = campaign.hub
+        self.manifest = campaign.manifest
+        self.breaker = FailureBreaker(
+            max(1, campaign.workers),
+            window=policy.breaker_window,
+            min_events=policy.breaker_min_events,
+            threshold=policy.breaker_threshold,
+            cooldown=policy.breaker_cooldown,
+        )
+        self._ctx = multiprocessing.get_context("fork")
+
+    # -- intake --------------------------------------------------------------
+
+    def _intake(self, max_jobs: int | None) -> list[tuple]:
+        """Screen every job: cache, budget, lease liveness.
+
+        Returns the ready list of ``(job, digest, attempt, try_resume)``.
+        """
+        camp = self.campaign
+        budget = max_jobs if max_jobs is not None else len(camp.jobs)
+        ready: list[tuple] = []
+        for job in camp.jobs:
+            digest = job.digest()
+            entry = self.manifest.jobs[digest]
+            status = entry["status"]
+            if status in ("done", "quarantined"):
+                continue
+            try_resume = False
+            if status == "running":
+                job_dir = camp._job_dir(job)
+                lease = read_lease(job_dir)
+                if lease_is_live(lease):
+                    # Another coordinator's worker holds this job: do
+                    # not double-run it (the pre-lease behavior).
+                    self.hub.emit(
+                        "campaign_job",
+                        job_id=job.job_id,
+                        digest=digest,
+                        status="leased",
+                        pid=lease["pid"],
+                    )
+                    continue
+                if lease is not None:
+                    self.metrics.counter("campaign.lease_expired").inc()
+                    self.hub.emit(
+                        "lease_takeover",
+                        job_id=job.job_id,
+                        digest=digest,
+                        pid=lease.get("pid"),
+                        nonce=lease.get("nonce"),
+                    )
+                    release_lease(job_dir)
+                try_resume = True
+            cached = camp.store.get(digest)
+            if cached is not None:
+                self.metrics.counter("campaign.cache_hits").inc()
+                self.manifest.mark(
+                    digest,
+                    "done",
+                    cached=True,
+                    result=os.path.relpath(
+                        camp.store.path(digest), camp.root
+                    ),
+                )
+                self.hub.emit(
+                    "campaign_job",
+                    job_id=job.job_id,
+                    digest=digest,
+                    status="cached",
+                )
+                continue
+            self.metrics.counter("campaign.cache_misses").inc()
+            if budget <= 0:
+                self.hub.emit(
+                    "campaign_job",
+                    job_id=job.job_id,
+                    digest=digest,
+                    status="deferred",
+                )
+                continue
+            budget -= 1
+            attempt = len(entry.get("attempts", []))
+            ready.append((job, digest, attempt, try_resume))
+        return ready
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, worker: _WorkerHandle, item: tuple) -> None:
+        job, digest, attempt, try_resume = item
+        camp = self.campaign
+        job_dir = camp._job_dir(job)
+        nonce = new_nonce()
+        payload = camp._payload(job, try_resume=try_resume)
+        payload.update(
+            {
+                "job_dir": job_dir,
+                "attempt": attempt,
+                "nonce": nonce,
+            }
+        )
+        if self.chaos is not None:
+            spec = self.chaos.on_worker(job.job_id, attempt)
+            if spec is not None:
+                payload["fault"] = {
+                    "kind": spec.kind,
+                    "point": spec.point or "spawn",
+                }
+        # Stale outcome of a takeover'd previous coordinator would be
+        # mistaken for this attempt's result.
+        try:
+            os.unlink(_outcome_path(job_dir, attempt))
+        except OSError:
+            pass
+        self.manifest.mark(
+            digest,
+            "running",
+            lease={"pid": worker.proc.pid, "nonce": nonce},
+            attempt=attempt,
+        )
+        self.hub.emit(
+            "campaign_job",
+            job_id=job.job_id,
+            digest=digest,
+            status="running",
+            attempt=attempt,
+            resume=try_resume,
+        )
+        worker.job = (job, digest, attempt, time.monotonic())
+        worker.job_dir = job_dir
+        worker.last_beat = -1
+        worker.last_beat_change = time.monotonic()
+        worker.task_q.put(payload)
+
+    def _respawn(self, worker: _WorkerHandle) -> _WorkerHandle:
+        """Replace a dead/killed worker process (crash-proof pool)."""
+        if worker.proc.is_alive():  # pragma: no cover - defensive
+            worker.proc.kill()
+        worker.proc.join(timeout=5)
+        return _WorkerHandle(self._ctx, worker.index)
+
+    # -- outcome handling ----------------------------------------------------
+
+    def _store_result(self, digest: str, doc: dict) -> str | dict:
+        """Persist one result with retry-with-backoff on I/O failure.
+
+        Returns the stored path, or a :func:`failure_context`-shaped
+        dict when the retry budget is exhausted (the attempt is then
+        classified ``io_error`` and routed through the retry machinery
+        like any other transient failure).
+        """
+        camp = self.campaign
+        last: dict | None = None
+        for i in range(self.policy.store_io_retries + 1):
+            try:
+                return camp.store.put(digest, doc)
+            except OSError as exc:
+                last = failure_context(exc)
+                if i < self.policy.store_io_retries:
+                    self.metrics.counter("campaign.store_retries").inc()
+                    time.sleep(self.policy.backoff(i))
+        assert last is not None
+        return last
+
+    def _on_success(self, job, digest: str, attempt: int, outcome: dict):
+        """Returns None when stored, or a failure context on store I/O."""
+        camp = self.campaign
+        stored = self._store_result(digest, outcome["doc"])
+        if isinstance(stored, dict):
+            return stored
+        self.metrics.counter("campaign.jobs_run").inc()
+        if outcome.get("resumed"):
+            self.metrics.counter("campaign.jobs_resumed").inc()
+        self.metrics.counter("assembly.plan_shared").inc(
+            outcome.get("plan_shared", 0.0)
+        )
+        release_lease(camp._job_dir(job))
+        self.manifest.mark(
+            digest,
+            "done",
+            cached=False,
+            result=os.path.relpath(stored, camp.root),
+            wall_s=outcome.get("wall_s"),
+        )
+        self.hub.emit(
+            "campaign_job",
+            job_id=job.job_id,
+            digest=digest,
+            status="done",
+            attempt=attempt,
+            wall_s=outcome.get("wall_s"),
+            resumed=bool(outcome.get("resumed")),
+        )
+        return None
+
+    def _on_failure(
+        self,
+        job,
+        digest: str,
+        attempt: int,
+        context: dict,
+        delayed: list,
+    ) -> None:
+        """Retry (transient, attempts left) or quarantine one failure."""
+        camp = self.campaign
+        release_lease(camp._job_dir(job))
+        taxonomy = context.get("taxonomy", "non_convergence")
+        entry = self.manifest.jobs[digest]
+        history = list(entry.get("attempts", []))
+        history.append(
+            {
+                "attempt": attempt,
+                "taxonomy": taxonomy,
+                "error_type": context.get("error_type", ""),
+                "error": context.get("error", ""),
+                "traceback": context.get("traceback", ""),
+                "wall_s": context.get("wall_s"),
+            }
+        )
+        transient = taxonomy in TRANSIENT_FAILURE_KINDS
+        if transient and attempt + 1 < self.policy.max_attempts:
+            counter = (
+                "campaign.requeues"
+                if taxonomy in ("worker_hang", "job_timeout")
+                else "campaign.retries"
+            )
+            self.metrics.counter(counter).inc()
+            delay = self.policy.backoff(attempt)
+            self.manifest.mark(
+                digest, "pending", attempts=history, error=context.get("error")
+            )
+            self.hub.emit(
+                "job_retry",
+                job_id=job.job_id,
+                digest=digest,
+                attempt=attempt,
+                taxonomy=taxonomy,
+                delay_s=delay,
+            )
+            self.hub.emit(
+                "campaign_job",
+                job_id=job.job_id,
+                digest=digest,
+                status="retry",
+                attempt=attempt,
+                taxonomy=taxonomy,
+            )
+            delayed.append(
+                (time.monotonic() + delay, job, digest, attempt + 1)
+            )
+            return
+        self.metrics.counter("campaign.quarantined").inc()
+        self.metrics.counter("campaign.jobs_failed").inc()
+        self.manifest.mark(
+            digest,
+            "quarantined",
+            attempts=history,
+            error=context.get("error", "unknown"),
+            error_type=context.get("error_type", ""),
+            taxonomy=taxonomy,
+            traceback=context.get("traceback", ""),
+            wall_s=context.get("wall_s"),
+        )
+        self.hub.emit(
+            "job_quarantined",
+            job_id=job.job_id,
+            digest=digest,
+            attempts=len(history),
+            taxonomy=taxonomy,
+        )
+        self.hub.emit(
+            "campaign_job",
+            job_id=job.job_id,
+            digest=digest,
+            status="quarantined",
+            attempt=attempt,
+            taxonomy=taxonomy,
+            error=context.get("error", ""),
+        )
+
+    def _record_outcome(self, ok: bool) -> None:
+        """Feed the breaker; count and announce trips."""
+        if self.breaker.record(ok):
+            self.metrics.counter("campaign.breaker_trips").inc()
+            self.hub.emit(
+                "breaker_trip",
+                allowed=self.breaker.allowed,
+                capacity=self.breaker.capacity,
+            )
+
+    # -- poll loop -----------------------------------------------------------
+
+    def _poll_worker(self, worker: _WorkerHandle, delayed: list) -> bool:
+        """Check one busy worker; True when its attempt finished."""
+        job, digest, attempt, dispatched = worker.job
+        outcome_file = _outcome_path(worker.job_dir, attempt)
+        if os.path.exists(outcome_file):
+            try:
+                with open(outcome_file, encoding="utf-8") as fh:
+                    outcome = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                outcome = failure_context(exc)
+            if outcome.get("ok"):
+                context = self._on_success(job, digest, attempt, outcome)
+                if context is None:
+                    self._record_outcome(True)
+                else:
+                    self._on_failure(job, digest, attempt, context, delayed)
+                    self._record_outcome(False)
+            else:
+                self._on_failure(job, digest, attempt, outcome, delayed)
+                self._record_outcome(False)
+            worker.job = None
+            return True
+        if worker.proc.exitcode is not None:
+            # Worker died without reporting: a crash fault domain.
+            context = {
+                "error": (
+                    f"worker exited with code {worker.proc.exitcode} "
+                    "before reporting an outcome"
+                ),
+                "error_type": "WorkerCrash",
+                "taxonomy": "worker_crash",
+                "traceback": "",
+            }
+            self._on_failure(job, digest, attempt, context, delayed)
+            self._record_outcome(False)
+            worker.job = None
+            return True
+        now = time.monotonic()
+        lease = read_lease(worker.job_dir)
+        if lease is not None and int(lease.get("beat", -1)) != worker.last_beat:
+            worker.last_beat = int(lease.get("beat", -1))
+            worker.last_beat_change = now
+        hang = (
+            self.policy.heartbeat_timeout_s > 0
+            and now - worker.last_beat_change > self.policy.heartbeat_timeout_s
+        )
+        timeout = (
+            self.policy.job_timeout_s > 0
+            and now - dispatched > self.policy.job_timeout_s
+        )
+        if hang or timeout:
+            taxonomy = "worker_hang" if hang else "job_timeout"
+            self.metrics.counter("campaign.lease_expired").inc()
+            worker.proc.kill()
+            worker.proc.join(timeout=5)
+            context = {
+                "error": (
+                    f"attempt {attempt} {taxonomy}: "
+                    + (
+                        "lease heartbeat stalled"
+                        if hang
+                        else "wall-clock budget exceeded"
+                    )
+                    + f" after {now - dispatched:.2f}s (worker killed)"
+                ),
+                "error_type": "LeaseExpired",
+                "taxonomy": taxonomy,
+                "traceback": "",
+            }
+            self._on_failure(job, digest, attempt, context, delayed)
+            self._record_outcome(False)
+            worker.job = None
+            return True
+        return False
+
+    def run(self, max_jobs: int | None = None) -> None:
+        """Drain the campaign under supervision."""
+        camp = self.campaign
+        ready = self._intake(max_jobs)
+        if not ready:
+            return
+        n_workers = max(1, camp.workers)
+        workers = [_WorkerHandle(self._ctx, i) for i in range(n_workers)]
+        delayed: list[tuple] = []  # (ready_at, job, digest, attempt)
+        try:
+            while ready or delayed or any(w.busy for w in workers):
+                now = time.monotonic()
+                due = [d for d in delayed if d[0] <= now]
+                if due:
+                    delayed[:] = [d for d in delayed if d[0] > now]
+                    # Retries re-enter at the head: finish wounded jobs
+                    # before opening new fault domains.
+                    ready[:0] = [
+                        (job, digest, attempt, True)
+                        for _t, job, digest, attempt in due
+                    ]
+                busy = sum(1 for w in workers if w.busy)
+                for i, worker in enumerate(workers):
+                    if not ready or busy >= self.breaker.allowed:
+                        break
+                    if worker.busy:
+                        continue
+                    if worker.proc.exitcode is not None:
+                        workers[i] = worker = self._respawn(worker)
+                    self._dispatch(worker, ready.pop(0))
+                    busy += 1
+                finished = False
+                for i, worker in enumerate(workers):
+                    if worker.busy and self._poll_worker(worker, delayed):
+                        finished = True
+                        if worker.proc.exitcode is not None:
+                            workers[i] = self._respawn(worker)
+                if not finished:
+                    time.sleep(self.policy.poll_s)
+        finally:
+            for worker in workers:
+                if worker.proc.is_alive():
+                    worker.task_q.put(None)
+            for worker in workers:
+                worker.proc.join(timeout=5)
+                if worker.proc.is_alive():  # pragma: no cover - stuck
+                    worker.proc.kill()
+                    worker.proc.join(timeout=5)

@@ -168,6 +168,11 @@ class NaluWindSimulation:
         self._resume_total = False
         self._checkpoint_restores = 0
         self._ckpt_manager: CheckpointManager | None = None
+        # Solve-iteration history restored from a cold checkpoint: the
+        # report prepends it so a resumed run's solve_iterations equal
+        # the uninterrupted run's (canonical campaign results stay
+        # bitwise-identical across crash/resume boundaries).
+        self._restored_solve_iterations: dict[str, list[int]] = {}
         if self.config.restart_from:
             self._load_restart(self.config.restart_from)
             # The first run() after a cold restart interprets n_steps as
@@ -358,6 +363,15 @@ class NaluWindSimulation:
             "rng_state": self.world.rng.bit_generator.state,
             "injector": injector.state_dict() if injector else None,
             "metrics": self.world.metrics.state_dict(),
+            # Cumulative per-equation iteration history (restored prefix
+            # + this process's records): a cold restore preloads it so
+            # the resumed run reports the same solve_iterations as the
+            # uninterrupted one.
+            "solve_iterations": {
+                eq.name: self._restored_solve_iterations.get(eq.name, [])
+                + [r.iterations for r in eq.solve_records]
+                for eq in self.systems
+            },
         }
         return arrays, meta
 
@@ -414,6 +428,10 @@ class NaluWindSimulation:
             if self.world.fault_injector is not None and meta.get("injector"):
                 self.world.fault_injector.load_state(meta["injector"])
             self.world.metrics.load_state(meta["metrics"])
+            self._restored_solve_iterations = {
+                name: [int(i) for i in its]
+                for name, its in (meta.get("solve_iterations") or {}).items()
+            }
 
     def write_checkpoint(self) -> str:
         """Durably checkpoint the current state; returns the file path."""
@@ -676,6 +694,9 @@ class NaluWindSimulation:
             self.config.dt = dt0
         self.step_index += 1
         self.step_snapshots.append(collect_phase_aggregates(self.world))
+        # Progress heartbeat for external supervisors (campaign workers
+        # beat their job lease on it; see docs/campaign.md).
+        self.world.hub.emit("step_complete", step=self.step_index)
 
     def _step_body(self) -> None:
         cfg = self.config
@@ -752,7 +773,8 @@ class NaluWindSimulation:
             n_steps=advance,
             step_snapshots=list(self.step_snapshots),
             solve_iterations={
-                eq.name: [r.iterations for r in eq.solve_records]
+                eq.name: self._restored_solve_iterations.get(eq.name, [])
+                + [r.iterations for r in eq.solve_records]
                 for eq in self.systems
             },
             peak_alloc_bytes=self.world.ops.peak_alloc(),

@@ -32,6 +32,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.guards import (
     FAILURE_KINDS,
+    TRANSIENT_FAILURE_KINDS,
     SolverFailure,
     classify_failure,
     iterate_is_finite,
@@ -39,7 +40,13 @@ from repro.resilience.guards import (
     validate_fields,
     validate_iterate,
 )
-from repro.resilience.injection import FAULT_KINDS, FaultInjector, FaultSpec
+from repro.resilience.injection import (
+    FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    WORKER_FAULT_POINTS,
+    FaultInjector,
+    FaultSpec,
+)
 from repro.resilience.policy import (
     LADDER_ACTIONS,
     RECOVERY_ACTIONS,
@@ -53,6 +60,9 @@ __all__ = [
     "FAULT_KINDS",
     "LADDER_ACTIONS",
     "RECOVERY_ACTIONS",
+    "TRANSIENT_FAILURE_KINDS",
+    "WORKER_FAULT_KINDS",
+    "WORKER_FAULT_POINTS",
     "CheckpointCorruptionError",
     "CheckpointError",
     "CheckpointManager",

@@ -16,7 +16,10 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-#: Failure kinds raised by the guards / classifier.
+#: Failure kinds raised by the guards / classifier.  The ``worker_*`` /
+#: ``job_timeout`` entries are process-level kinds assigned by the
+#: campaign supervisor (a worker died, stalled past its heartbeat, or
+#: overran its wall-clock budget) — same taxonomy, one layer up.
 FAILURE_KINDS = (
     "nonfinite_iterate",
     "nonfinite_operands",
@@ -26,6 +29,27 @@ FAILURE_KINDS = (
     "comm_corrupt",
     "comm_retries_exhausted",
     "io_error",
+    "worker_crash",
+    "worker_hang",
+    "job_timeout",
+)
+
+#: The transient subset: failures whose cause is environmental (lost
+#: messages, flaky filesystems, dead or hung worker processes), so an
+#: identical retry can legitimately succeed.  Deterministic failures —
+#: solver divergence, non-finite iterates from a reproducible fault —
+#: are excluded: re-running them replays the exact same failure, so the
+#: campaign supervisor quarantines instead of retrying.
+TRANSIENT_FAILURE_KINDS = frozenset(
+    {
+        "comm_deadlock",
+        "comm_corrupt",
+        "comm_retries_exhausted",
+        "io_error",
+        "worker_crash",
+        "worker_hang",
+        "job_timeout",
+    }
 )
 
 

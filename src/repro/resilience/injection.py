@@ -18,9 +18,22 @@ faith:
   in flight (the envelope checksum catches it on receive);
 * ``message_duplicate`` — deliver the Nth point-to-point message twice
   (the receiver must discard the stale copy by sequence number);
-* ``io_fail`` — fail checkpoint I/O operations in a window of
-  ``entries`` consecutive attempts starting at the Nth (a flaky
-  parallel-filesystem analogue; the writer retries with backoff).
+* ``io_fail`` — fail checkpoint/result-store I/O operations in a window
+  of ``entries`` consecutive attempts starting at the Nth (a flaky
+  parallel-filesystem analogue; the writer retries with backoff);
+* ``worker_crash`` — hard-kill a campaign worker process
+  (``os._exit``) at a configured execution ``point`` of the ``at``-th
+  attempt of a job (a node-death / OOM-kill analogue — the campaign
+  supervisor must detect the dead worker and requeue the job);
+* ``worker_hang`` — stall a campaign worker at the configured point
+  without exiting (a hung MPI collective / filesystem-stall analogue —
+  only heartbeat-based lease expiry can catch it).
+
+The process-level kinds (``worker_crash``/``worker_hang``) are matched
+by the *campaign supervisor* at dispatch time, keyed on
+``(job, attempt)`` instead of a global opportunity counter, so their
+firing schedule — and every retry/requeue counter downstream of it — is
+deterministic under any worker count and scheduling interleaving.
 
 All randomness flows from one seeded generator and opportunities are
 counted deterministically, so a faulted run replays bit-identically
@@ -44,7 +57,15 @@ FAULT_KINDS = (
     "message_corrupt",
     "message_duplicate",
     "io_fail",
+    "worker_crash",
+    "worker_hang",
 )
+
+#: Process-level kinds matched by the campaign supervisor at dispatch.
+WORKER_FAULT_KINDS = ("worker_crash", "worker_hang")
+
+#: Worker execution boundaries a process fault can fire at ("" = spawn).
+WORKER_FAULT_POINTS = ("", "spawn", "lease", "run", "ckpt", "store")
 
 
 @dataclass(frozen=True)
@@ -66,6 +87,21 @@ class FaultSpec:
             the number of *consecutive* I/O attempts (starting at
             ``at``) that fail — a window, so retry-with-backoff is
             actually exercised.
+        point: ``worker_crash``/``worker_hang`` only — the execution
+            boundary the fault fires at (:data:`WORKER_FAULT_POINTS`):
+            ``"spawn"`` (default, before the job lease), ``"lease"``
+            (after leasing, before the simulation), ``"run"``
+            (mid-solve, on the first durable checkpoint event),
+            ``"ckpt"`` (mid-checkpoint-write, between the tmp write and
+            the atomic replace), ``"store"`` (after the run, before the
+            outcome document is persisted).
+        job: restrict ``worker_*``/``io_fail`` to one job — a
+            ``JobSpec.job_id``/digest prefix (matched against the
+            dispatch's job id, or the I/O path for ``io_fail``).  Empty
+            matches any.  For ``worker_*``, ``at`` is the 0-based
+            *attempt index* of the matching job, not a global
+            opportunity count — this is what keeps chaos schedules
+            deterministic under concurrent dispatch.
     """
 
     kind: str
@@ -74,6 +110,8 @@ class FaultSpec:
     mode: str = "nan"
     magnitude: float = 1e8
     entries: int = 1
+    point: str = ""
+    job: str = ""
 
     def validate(self) -> None:
         """Raise on inconsistent settings."""
@@ -85,6 +123,15 @@ class FaultSpec:
             raise ValueError(f"unknown fault mode {self.mode!r}")
         if self.at < 0 or self.entries < 1:
             raise ValueError("at must be >= 0 and entries >= 1")
+        if self.point and self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"point={self.point!r} only applies to {WORKER_FAULT_KINDS}"
+            )
+        if self.point not in WORKER_FAULT_POINTS:
+            raise ValueError(
+                f"unknown worker fault point {self.point!r}; "
+                f"options {WORKER_FAULT_POINTS}"
+            )
 
     def to_dict(self) -> dict:
         """JSON-shaped dict of the spec (strict round-trip form)."""
@@ -95,6 +142,8 @@ class FaultSpec:
             "mode": self.mode,
             "magnitude": self.magnitude,
             "entries": self.entries,
+            "point": self.point,
+            "job": self.job,
         }
 
     @classmethod
@@ -119,6 +168,8 @@ class FaultSpec:
                     "mode": as_str,
                     "magnitude": as_float,
                     "entries": as_int,
+                    "point": as_str,
+                    "job": as_str,
                 },
             )
         )
@@ -347,16 +398,53 @@ class FaultInjector:
             return [envelope, envelope]
         return [envelope]
 
+    def on_worker(self, job_id: str, attempt: int) -> FaultSpec | None:
+        """Process-level fault due for this ``(job, attempt)`` dispatch.
+
+        Called by the campaign supervisor when it hands a job attempt to
+        a worker.  Matching is keyed directly on the job id (prefix
+        match against ``spec.job``; empty matches any job) and the
+        0-based attempt index (``spec.at``) — never on a global
+        opportunity counter — so the schedule replays identically
+        regardless of worker count or completion interleaving.  The
+        matched spec is returned for the dispatcher to encode into the
+        worker payload (the corresponding ``os._exit``/stall happens in
+        the child).
+        """
+        for spec, st in zip(self.specs, self._state):
+            if spec.kind not in WORKER_FAULT_KINDS or st.fired:
+                continue
+            if spec.job and not job_id.startswith(spec.job):
+                continue
+            if attempt != spec.at:
+                continue
+            st.fired = True
+            self.fired.append(
+                {
+                    "kind": spec.kind,
+                    "job": job_id,
+                    "attempt": attempt,
+                    "point": spec.point or "spawn",
+                }
+            )
+            return spec
+        return None
+
     def on_io(self, op: str, path: str = "") -> bool:
-        """True when the current checkpoint I/O attempt should fail.
+        """True when the current checkpoint/store I/O attempt should fail.
 
         Unlike the one-shot kinds, ``io_fail`` fails a *window* of
         ``entries`` consecutive opportunities starting at ``at``, so the
         writer's retry-with-backoff loop is exercised (and can be
         exhausted by making the window wider than the retry budget).
+        A spec with ``job`` set counts (and fails) only I/O whose path
+        contains that job id — the deterministic-per-job form campaign
+        chaos schedules use.
         """
         for spec, st in zip(self.specs, self._state):
             if spec.kind != "io_fail" or st.fired:
+                continue
+            if spec.job and spec.job not in path:
                 continue
             st.seen += 1
             n = st.seen - 1

@@ -1,7 +1,7 @@
 """Kernel sanitizer + repro-lint: rule fixtures and replay contracts.
 
 Static half: one known-bad snippet and a clean twin per lint rule
-(RL001-RL006), plus the pragma and baseline suppression paths.  Dynamic
+(RL001-RL006, RL010), plus the pragma and baseline suppression paths.  Dynamic
 half: planted races/unstable reductions must be *caught* (KS001-KS003),
 and the shipped scatter modes / Algorithm 1-2 paths must replay bitwise
 under permuted simulated-thread schedules — the executable form of the
@@ -40,6 +40,7 @@ from repro.obs.metrics import MetricsRegistry
 
 NEUTRAL = "src/repro/core/fixture.py"
 KERNEL = "src/repro/assembly/fixture.py"
+CAMPAIGN = "src/repro/campaign/fixture.py"
 
 FIXTURES = [
     (
@@ -94,6 +95,22 @@ FIXTURES = [
         'world.phase_scope("assembly")\n',
         'with world.phase_scope("assembly"):\n    pass\n',
         NEUTRAL,
+    ),
+    (
+        "RL010",
+        "def drain(jobs):\n"
+        "    for j in jobs:\n"
+        "        try:\n"
+        "            j.run()\n"
+        "        except Exception:\n"
+        "            continue\n",
+        "def drain(jobs, manifest):\n"
+        "    for j in jobs:\n"
+        "        try:\n"
+        "            j.run()\n"
+        "        except Exception as exc:\n"
+        "            manifest.mark(j.digest, failure_context(exc))\n",
+        CAMPAIGN,
     ),
 ]
 
@@ -193,6 +210,54 @@ class TestLintRules:
     def test_rl006_raw_stack_manipulation(self):
         got = lint_source('world._pop_phase("assembly")\n', NEUTRAL)
         assert [f.rule for f in got.findings] == ["RL006"]
+
+    def test_rl010_scoped_to_campaign_package(self):
+        # The same swallow outside campaign/ is somebody else's
+        # convention — only the fault-domain layer is held to taxonomy
+        # bookkeeping.
+        bad = FIXTURES[-1][1]
+        assert not lint_source(bad, NEUTRAL).findings
+
+    def test_rl010_narrow_except_unflagged(self):
+        src = (
+            "import os\n"
+            "def release(path):\n"
+            "    try:\n"
+            "        os.unlink(path)\n"
+            "    except OSError:\n"
+            "        pass\n"
+        )
+        assert not lint_source(src, CAMPAIGN).findings
+
+    def test_rl010_bare_except_flagged(self):
+        src = (
+            "def run(job):\n"
+            "    try:\n"
+            "        job()\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        assert [f.rule for f in lint_source(src, CAMPAIGN).findings] == [
+            "RL010"
+        ]
+
+    def test_rl010_reraise_and_record_helper_accepted(self):
+        reraise = (
+            "def run(job):\n"
+            "    try:\n"
+            "        job()\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        assert not lint_source(reraise, CAMPAIGN).findings
+        recorded = (
+            "def run(job, log):\n"
+            "    try:\n"
+            "        job()\n"
+            "    except Exception as exc:\n"
+            "        record_failure(log, exc)\n"
+        )
+        assert not lint_source(recorded, CAMPAIGN).findings
 
     def test_syntax_error_is_a_finding_not_a_crash(self):
         got = lint_source("def broken(:\n", NEUTRAL)

@@ -1,6 +1,8 @@
 """Tests for the campaign service: job specs, sweep expansion, the
-content-addressed result store, the durable manifest, and the runner
-(cache-hit bitwise identity, resume-after-kill, setup sharing)."""
+content-addressed result store, the durable manifest, the runner
+(cache-hit bitwise identity, resume-after-kill, setup sharing), and the
+supervised execution layer (crash-at-every-boundary fault domains,
+hang detection, lease takeover, quarantine, failure breaker)."""
 
 import json
 import os
@@ -12,15 +14,21 @@ from repro.campaign import (
     Campaign,
     CampaignManifest,
     CampaignSpec,
+    FailureBreaker,
     JobSpec,
     ManifestError,
     ResultStore,
-    merge_overrides,
-    set_path,
+    SupervisorPolicy,
+    failure_context,
+    lease_is_live,
+    read_lease,
+    write_lease,
 )
+from repro.campaign import merge_overrides, set_path
 from repro.core.config import SimulationConfig
 from repro.core.simulation import NaluWindSimulation
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience import FaultInjector, FaultSpec, SolverFailure
 
 
 def tiny_spec(name="t", seeds=(0, 1), steps=1, **kw):
@@ -302,6 +310,336 @@ class TestCampaignRunner:
         assert len(camp.store) == 0
 
 
+def fast_policy(**kw):
+    kw.setdefault("backoff_base_s", 0.01)
+    kw.setdefault("backoff_max_s", 0.05)
+    kw.setdefault("poll_s", 0.02)
+    return SupervisorPolicy(**kw)
+
+
+class TestSupervisorPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"poll_s": 0.0},
+            {"job_timeout_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"breaker_threshold": 0.0},
+            {"breaker_window": 0},
+            {"store_io_retries": -1},
+        ],
+    )
+    def test_rejects_bad_settings(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(**kwargs).validate()
+
+    def test_backoff_is_deterministic_and_capped(self):
+        p = SupervisorPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.3
+        )
+        assert [p.backoff(k) for k in range(4)] == [0.1, 0.2, 0.3, 0.3]
+
+
+class TestFailureContext:
+    def test_classifies_and_truncates(self):
+        try:
+            raise OSError("disk on fire")
+        except OSError as exc:
+            ctx = failure_context(exc)
+        assert ctx["ok"] is False
+        assert ctx["taxonomy"] == "io_error"
+        assert ctx["error_type"] == "OSError"
+        assert "disk on fire" in ctx["error"]
+        assert "OSError" in ctx["traceback"]
+        assert len(ctx["traceback"]) <= 2000
+
+    def test_solver_failure_keeps_its_kind(self):
+        ctx = failure_context(
+            SolverFailure("diverged", kind="non_convergence")
+        )
+        assert ctx["taxonomy"] == "non_convergence"
+
+
+class TestFailureBreaker:
+    def test_trips_halves_and_recovers(self):
+        br = FailureBreaker(
+            8, window=4, min_events=4, threshold=0.5, cooldown=2
+        )
+        assert br.allowed == 8
+        assert not br.record(True)
+        assert not br.record(False)
+        assert not br.record(True)
+        # 4th outcome makes the window eligible; 2/4 failures >= 0.5.
+        assert br.record(False)
+        assert br.allowed == 4 and br.trips == 1
+        # Two consecutive successes restore one halving step.
+        br.record(True)
+        assert br.allowed == 4
+        br.record(True)
+        assert br.allowed == 8
+
+    def test_floor_is_one_and_needs_min_events(self):
+        br = FailureBreaker(2, window=4, min_events=3, threshold=0.5)
+        assert not br.record(False)
+        assert not br.record(False)  # only 2 events < min_events
+        assert br.record(False)
+        assert br.allowed == 1
+        # At the floor, further failures cannot trip again.
+        assert not br.record(False)
+        assert br.trips == 1
+
+
+class TestLeases:
+    def test_round_trip_and_liveness(self, tmp_path):
+        job_dir = str(tmp_path / "job")
+        write_lease(job_dir, "n-1", beat=3)
+        lease = read_lease(job_dir)
+        assert lease["pid"] == os.getpid()
+        assert lease["nonce"] == "n-1" and lease["beat"] == 3
+        assert lease_is_live(lease)  # our own pid is alive
+
+    def test_dead_pid_is_stale(self, tmp_path):
+        job_dir = str(tmp_path / "job")
+        os.makedirs(job_dir)
+        with open(os.path.join(job_dir, "lease.json"), "w") as fh:
+            json.dump({"pid": 2**22 + 12345, "nonce": "x", "beat": 0}, fh)
+        assert not lease_is_live(read_lease(job_dir))
+
+    def test_torn_lease_reads_as_none(self, tmp_path):
+        job_dir = str(tmp_path / "job")
+        os.makedirs(job_dir)
+        with open(os.path.join(job_dir, "lease.json"), "w") as fh:
+            fh.write("{half a lease")
+        assert read_lease(job_dir) is None
+        assert not lease_is_live(None)
+
+
+@pytest.mark.slow
+class TestSupervisedRunner:
+    @pytest.mark.parametrize(
+        "point", ["spawn", "lease", "run", "ckpt", "store"]
+    )
+    def test_crash_at_every_boundary_bitwise(self, tmp_path, point):
+        # Kill the worker at each fault-domain boundary: before the
+        # lease, right after it, mid-solve (first checkpoint event),
+        # mid-checkpoint-write (between tmp write and atomic replace),
+        # and after the solve but before the outcome report.  Every
+        # variant must retry to completion with a result bitwise-equal
+        # to an undisturbed run.
+        spec = tiny_spec(
+            name=f"crash_{point}", seeds=(0,), steps=2, checkpoint_every=1
+        )
+        job = spec.expand()[0]
+        ref = Campaign(spec, str(tmp_path / "ref"))
+        ref.run()
+        chaos = FaultInjector(
+            (
+                FaultSpec(
+                    kind="worker_crash", at=0, point=point, job=job.job_id
+                ),
+            ),
+            seed=3,
+        )
+        camp = Campaign(
+            spec,
+            str(tmp_path / "chaos"),
+            workers=1,
+            policy=fast_policy(),
+            chaos=chaos,
+        )
+        s = camp.run()
+        assert s["status_counts"]["done"] == 1
+        assert s["retries"] == 1 and s["quarantined"] == 0
+        assert chaos.exhausted()
+        b_ref = ref.store.get_bytes(job.digest())
+        assert b_ref is not None
+        assert camp.store.get_bytes(job.digest()) == b_ref
+
+    def test_timeout_kills_and_requeues(self, tmp_path):
+        # A worker hung before its first heartbeat is caught by the
+        # attempt wall-clock budget, SIGKILLed, and the job requeued.
+        spec = tiny_spec(name="hang", seeds=(0,), steps=1)
+        job = spec.expand()[0]
+        chaos = FaultInjector(
+            (
+                FaultSpec(
+                    kind="worker_hang", at=0, point="spawn", job=job.job_id
+                ),
+            )
+        )
+        camp = Campaign(
+            spec,
+            str(tmp_path / "c"),
+            workers=1,
+            # Budget well above a clean attempt's wall time (a tiny job
+            # runs ~2s): only the hung attempt may trip it.
+            policy=fast_policy(job_timeout_s=8.0),
+            chaos=chaos,
+        )
+        s = camp.run()
+        assert s["status_counts"]["done"] == 1
+        assert s["requeues"] == 1 and s["lease_expired"] == 1
+        assert s["retries"] == 0
+        entry = camp.manifest.jobs[job.digest()]
+        assert entry["attempts"][0]["taxonomy"] == "job_timeout"
+
+    def test_quarantine_after_max_attempts_keeps_context(self, tmp_path):
+        spec = tiny_spec(name="poison", seeds=(0, 1))
+        jobs = spec.expand()
+        chaos = FaultInjector(
+            (
+                FaultSpec(
+                    kind="worker_crash", at=0, point="spawn",
+                    job=jobs[0].job_id,
+                ),
+                FaultSpec(
+                    kind="worker_crash", at=1, point="lease",
+                    job=jobs[0].job_id,
+                ),
+            )
+        )
+        camp = Campaign(
+            spec,
+            str(tmp_path / "c"),
+            workers=1,
+            policy=fast_policy(max_attempts=2),
+            chaos=chaos,
+        )
+        s = camp.run()
+        assert s["status_counts"] == {
+            "pending": 0, "running": 0, "done": 1, "failed": 0,
+            "quarantined": 1,
+        }
+        assert s["retries"] == 1 and s["quarantined"] == 1
+        entry = camp.manifest.jobs[jobs[0].digest()]
+        assert entry["status"] == "quarantined"
+        assert entry["taxonomy"] == "worker_crash"
+        assert entry["error_type"] == "WorkerCrash"
+        assert len(entry["attempts"]) == 2
+        assert [a["attempt"] for a in entry["attempts"]] == [0, 1]
+        # The summary surfaces the attempt count per job.
+        assert s["jobs"][jobs[0].digest()]["attempts"] == 2
+        # Resuming the campaign skips the quarantined job entirely.
+        s2 = Campaign.resume(
+            str(tmp_path / "c"), workers=1, policy=fast_policy()
+        ).run()
+        assert s2["jobs_run"] == 0
+        assert s2["status_counts"]["quarantined"] == 1
+
+    def test_deterministic_failure_is_not_retried(self, tmp_path):
+        # Solver divergence with recovery off raises a SolverFailure
+        # whose taxonomy is non-transient: no retry budget burned,
+        # immediate quarantine with the traceback persisted.
+        spec = tiny_spec(name="det", seeds=(0,), steps=2)
+        spec.base = merge_overrides(
+            spec.base,
+            {
+                "faults": [
+                    {"kind": "exchange_nan", "at": 40, "entries": 1}
+                ],
+                "fault_seed": 7,
+                "recovery": {"enabled": False},
+            },
+        )
+        job = spec.expand()[0]
+        camp = Campaign(
+            spec,
+            str(tmp_path / "c"),
+            workers=1,
+            policy=fast_policy(max_attempts=3),
+        )
+        s = camp.run()
+        assert s["retries"] == 0 and s["quarantined"] == 1
+        entry = camp.manifest.jobs[job.digest()]
+        assert entry["taxonomy"].startswith("nonfinite")
+        assert len(entry["attempts"]) == 1
+        assert "SolverFailure" in entry["traceback"]
+
+    def test_store_write_faults_absorbed_by_retries(self, tmp_path):
+        spec = tiny_spec(name="storeio", seeds=(0,))
+        job = spec.expand()[0]
+        chaos = FaultInjector(
+            (FaultSpec(kind="io_fail", at=0, entries=2, job=job.digest()),)
+        )
+        camp = Campaign(
+            spec,
+            str(tmp_path / "c"),
+            workers=1,
+            policy=fast_policy(store_io_retries=3),
+            chaos=chaos,
+        )
+        s = camp.run()
+        assert s["status_counts"]["done"] == 1
+        assert s["store_retries"] == 2
+        assert s["retries"] == 0 and s["quarantined"] == 0
+
+    def test_store_write_fault_exhaustion_costs_the_attempt(self, tmp_path):
+        # A window wider than the store retry budget classifies the
+        # attempt io_error (transient), so the whole job retries — and
+        # with max_attempts=1 it quarantines.
+        spec = tiny_spec(name="storedead", seeds=(0,))
+        job = spec.expand()[0]
+        chaos = FaultInjector(
+            (FaultSpec(kind="io_fail", at=0, entries=20, job=job.digest()),)
+        )
+        camp = Campaign(
+            spec,
+            str(tmp_path / "c"),
+            workers=1,
+            policy=fast_policy(max_attempts=1, store_io_retries=2),
+            chaos=chaos,
+        )
+        s = camp.run()
+        assert s["status_counts"]["quarantined"] == 1
+        assert s["store_retries"] == 2
+        entry = camp.manifest.jobs[job.digest()]
+        assert entry["taxonomy"] == "io_error"
+
+    def test_live_lease_is_not_taken_over(self, tmp_path):
+        # A `running` manifest entry whose lease holder is alive (here:
+        # this very process) must be left alone — the pre-lease runner
+        # would have re-run it, double-executing a live job.
+        spec = tiny_spec(name="lease", seeds=(0,))
+        root = str(tmp_path / "c")
+        camp = Campaign(spec, root)
+        job = camp.jobs[0]
+        camp.manifest.mark(job.digest(), "running")
+        write_lease(camp._job_dir(job), "held-elsewhere")
+        s = Campaign.resume(root).run()
+        assert s["jobs_run"] == 0
+        assert s["status_counts"]["running"] == 1
+        assert s["lease_expired"] == 0
+
+    def test_stale_lease_takeover_is_counted(self, tmp_path):
+        spec = tiny_spec(name="stale", seeds=(0,))
+        root = str(tmp_path / "c")
+        camp = Campaign(spec, root)
+        job = camp.jobs[0]
+        camp.manifest.mark(job.digest(), "running")
+        job_dir = camp._job_dir(job)
+        os.makedirs(job_dir, exist_ok=True)
+        with open(os.path.join(job_dir, "lease.json"), "w") as fh:
+            json.dump({"pid": 2**22 + 54321, "nonce": "dead", "beat": 1}, fh)
+        s = Campaign.resume(root).run()
+        assert s["status_counts"]["done"] == 1
+        assert s["lease_expired"] == 1
+
+    def test_supervised_matches_unsupervised_bitwise(self, tmp_path):
+        spec = tiny_spec(name="par")
+        plain = Campaign(spec, str(tmp_path / "plain"))
+        plain.run()
+        sup = Campaign(
+            spec, str(tmp_path / "sup"), workers=2, policy=fast_policy()
+        )
+        s = sup.run()
+        assert s["status_counts"]["done"] == 2
+        assert s["supervised"] is True
+        for job in spec.expand():
+            d = job.digest()
+            assert plain.store.get_bytes(d) == sup.store.get_bytes(d)
+
+
 @pytest.mark.slow
 class TestCampaignCLI:
     def write_spec(self, tmp_path, **kw):
@@ -346,6 +684,40 @@ class TestCampaignCLI:
         bad = tmp_path / "bad.json"
         bad.write_text("{}")
         assert main(["campaign", str(bad)]) == 1
+
+    def test_supervised_run_exits_0(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        rc = main(
+            ["campaign", spec, "--supervised", "-d", str(tmp_path / "c"),
+             "--format", "json"]
+        )
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["supervised"] is True
+        assert summary["status_counts"]["done"] == 1
+
+    def test_quarantined_jobs_exit_3(self, tmp_path, capsys):
+        doc = tiny_spec(name="cli_poison", seeds=(0,), steps=2).to_dict()
+        doc["base"] = merge_overrides(
+            doc["base"],
+            {
+                "faults": [
+                    {"kind": "exchange_nan", "at": 40, "entries": 1}
+                ],
+                "fault_seed": 7,
+                "recovery": {"enabled": False},
+            },
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(doc))
+        rc = main(
+            ["campaign", str(path), "--supervised", "--max-attempts", "2",
+             "-d", str(tmp_path / "c"), "--format", "json"]
+        )
+        assert rc == 3
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["status_counts"]["quarantined"] == 1
+        assert summary["retries"] == 0  # deterministic: no retry burned
 
     def test_unknown_workload_exits_2(self):
         with pytest.raises(SystemExit) as exc:

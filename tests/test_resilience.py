@@ -116,6 +116,23 @@ class TestPolicyAndSpecs:
         with pytest.raises(ValueError):
             FaultSpec(kind="solver_stall", at=-1).validate()
 
+    def test_worker_fault_spec_validation(self):
+        FaultSpec(kind="worker_crash", point="ckpt", job="abc").validate()
+        FaultSpec(kind="worker_hang", point="run").validate()
+        with pytest.raises(ValueError):
+            # `point` is meaningful only for process-level kinds.
+            FaultSpec(kind="solver_stall", point="run").validate()
+        with pytest.raises(ValueError):
+            FaultSpec(kind="worker_crash", point="nowhere").validate()
+
+    def test_worker_fault_spec_round_trip(self):
+        spec = FaultSpec(
+            kind="worker_hang", at=1, point="store", job="deadbeef"
+        )
+        again = FaultSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.point == "store" and again.job == "deadbeef"
+
     def test_config_validates_recovery_and_faults(self):
         cfg = SimulationConfig(recovery=RecoveryPolicy(dt_backoff=2.0))
         with pytest.raises(ValueError):
@@ -176,6 +193,39 @@ class TestFaultInjector:
         assert i2 is idx and j2 is idx
         assert np.all(np.isfinite(vals))
         assert not np.all(np.isfinite(v2))
+
+    def test_on_worker_keys_on_job_and_attempt(self):
+        # Matching is (job-id prefix, attempt index) — never a global
+        # opportunity counter — so chaos schedules replay identically
+        # under any worker count or completion interleaving.
+        inj = FaultInjector(
+            (FaultSpec(kind="worker_crash", at=1, point="run", job="aaa"),)
+        )
+        assert inj.on_worker("bbb12345", 1) is None  # wrong job
+        assert inj.on_worker("aaa12345", 0) is None  # wrong attempt
+        spec = inj.on_worker("aaa12345", 1)
+        assert spec is not None and spec.kind == "worker_crash"
+        assert inj.on_worker("aaa12345", 1) is None  # one-shot
+        assert inj.fired[0]["point"] == "run"
+        assert inj.exhausted()
+
+    def test_on_worker_empty_job_matches_any(self):
+        inj = FaultInjector((FaultSpec(kind="worker_hang", at=0),))
+        assert inj.on_worker("anything", 0) is not None
+
+    def test_on_io_job_filter_scopes_the_window(self):
+        # A two-entry window filtered to one job's path fails exactly
+        # that job's I/O twice and never counts other paths as
+        # opportunities.
+        inj = FaultInjector(
+            (FaultSpec(kind="io_fail", at=0, entries=2, job="aaa"),)
+        )
+        assert not inj.on_io("store_put", "/store/bbb.json")
+        assert inj.on_io("store_put", "/store/aaa.json")
+        assert not inj.on_io("store_put", "/store/bbb.json")
+        assert inj.on_io("store_put", "/store/aaa.json")
+        assert not inj.on_io("store_put", "/store/aaa.json")
+        assert inj.exhausted()
 
     def test_deterministic_under_seed(self):
         def corrupt():
